@@ -1,0 +1,190 @@
+// The benchmark harness: one testing.B benchmark per evaluation table and
+// figure, living in the public package's external test. Each bench runs the corresponding
+// experiment at a reduced (quick) budget and reports the headline quantity
+// through b.ReportMetric, so `go test -bench=.` regenerates the shape of
+// every result. cmd/experiments prints the full-budget tables.
+package dpplace_test
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/datapath"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+var quick = experiments.RunOpts{Quick: true}
+
+// benchConfigs is the reduced suite used by the harness (dp01..dp03).
+func benchConfigs() []gen.Config {
+	return gen.Suite()[:3]
+}
+
+// BenchmarkTable1_Stats regenerates the benchmark-statistics table.
+func BenchmarkTable1_Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table1(benchConfigs())
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2_HPWL regenerates the HPWL/runtime comparison and reports
+// the geomean SA/base HPWL ratio over the quick subset (low-fraction
+// designs: expect a small premium; see EXPERIMENTS.md for the full suite).
+func BenchmarkTable2_HPWL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := experiments.RunSuite(benchConfigs(), quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := 1.0
+		for _, c := range cases {
+			ratio *= c.SA.HPWLFinal / c.Base.HPWLFinal
+		}
+		ratio = pow(ratio, 1/float64(len(cases)))
+		b.ReportMetric(ratio, "hpwl-ratio")
+	}
+}
+
+// BenchmarkTable3_StWLCongestion reports the geomean SA/base Steiner
+// wirelength and ACE5 congestion ratios over the quick subset.
+func BenchmarkTable3_StWLCongestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cases, err := experiments.RunSuite(benchConfigs(), quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := 1.0
+		ace := 0.0
+		for _, c := range cases {
+			ratio *= c.SARep.SteinerWL / c.BaseRep.SteinerWL
+			ace += c.SARep.Congestion.ACE5 / c.BaseRep.Congestion.ACE5
+		}
+		b.ReportMetric(pow(ratio, 1/float64(len(cases))), "stwl-ratio")
+		b.ReportMetric(ace/float64(len(cases)), "ace5-ratio")
+	}
+}
+
+// BenchmarkTable4_Extraction reports mean extraction F1 in named and
+// structural modes (paper shape: both high; named ≥ structural).
+func BenchmarkTable4_Extraction(b *testing.B) {
+	cfgs := benchConfigs()
+	for i := 0; i < b.N; i++ {
+		var namedF1, structF1 float64
+		for _, cfg := range cfgs {
+			bench := gen.Generate(cfg)
+			ext := datapath.Extract(bench.Netlist, datapath.DefaultOptions())
+			namedF1 += datapath.Compare(bench.Truth, ext.Labels()).F1
+
+			scr := cfg
+			scr.Scramble = true
+			bs := gen.Generate(scr)
+			opt := datapath.DefaultOptions()
+			opt.UseNames = false
+			extS := datapath.Extract(bs.Netlist, opt)
+			structF1 += datapath.Compare(bs.Truth, extS.Labels()).F1
+		}
+		b.ReportMetric(namedF1/float64(len(cfgs)), "named-f1")
+		b.ReportMetric(structF1/float64(len(cfgs)), "struct-f1")
+	}
+}
+
+// BenchmarkTable5_WAvsLSE reports the WA/LSE HPWL geomean at equal budgets
+// (paper-family shape: ≤ 1).
+func BenchmarkTable5_WAvsLSE(b *testing.B) {
+	cfgs := benchConfigs()[:2]
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table5(cfgs, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Last row is the geomean.
+		geo := tbl.Rows[len(tbl.Rows)-1][3]
+		v, err := strconv.ParseFloat(geo, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "wa-lse-ratio")
+	}
+}
+
+// BenchmarkFigure5_FractionSweep reports the SA/base overflow ratio at the
+// highest datapath fraction of the sweep.
+func BenchmarkFigure5_FractionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure5(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1]
+		// The ratio column is "n/a" when the baseline routes overflow-free.
+		if v, err := strconv.ParseFloat(last[len(last)-1], 64); err == nil {
+			b.ReportMetric(v, "top-ovfl-ratio")
+		}
+	}
+}
+
+// BenchmarkFigure6_Convergence reports the final structure-aware alignment
+// RMS of the convergence trace (paper shape: near zero, far below baseline).
+func BenchmarkFigure6_Convergence(b *testing.B) {
+	cfg := gen.Suite()[2]
+	cfg.RandomCells = 400
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure6(cfg, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1]
+		saAlign, err := strconv.ParseFloat(last[6], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseAlign, err := strconv.ParseFloat(last[3], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(saAlign, "sa-align-rms")
+		b.ReportMetric(baseAlign, "base-align-rms")
+	}
+}
+
+// BenchmarkFigure7_AlphaSweep reports the spread of legalized HPWL across
+// the α sweep (paper shape: an interior optimum exists, so the spread is
+// non-trivial).
+func BenchmarkFigure7_AlphaSweep(b *testing.B) {
+	cfg := gen.Suite()[2]
+	cfg.RandomCells = 400
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure7(cfg, quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 1e18, 0.0
+		for _, row := range tbl.Rows {
+			v, err := strconv.ParseFloat(row[3], 64)
+			if err != nil || v <= 0 {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > 0 {
+			b.ReportMetric(hi/lo, "alpha-hpwl-spread")
+		}
+	}
+}
+
+func pow(v, p float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Pow(v, p)
+}

@@ -1,0 +1,121 @@
+// Command dpeval scores an existing placement: read a Bookshelf design (and
+// optionally a separate .pl with updated positions), check legality, and
+// print the full quality report — the tool for comparing placements produced
+// by different flows or external placers.
+//
+// Usage:
+//
+//	dpeval [-pl other.pl] [-capacity 0.8] design.aux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/bookshelf"
+	"repro/internal/datapath"
+	"repro/internal/metrics"
+)
+
+func main() {
+	plPath := flag.String("pl", "", "override placement from this .pl file")
+	capacity := flag.Float64("capacity", 0.8, "global-router capacity factor")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dpeval [flags] design.aux")
+		os.Exit(2)
+	}
+
+	d, err := bookshelf.ReadAux(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d.Core == nil {
+		log.Fatal("dpeval: design has no .scl row definition")
+	}
+	if *plPath != "" {
+		f, err := os.Open(*plPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = bookshelf.ReadPl(f, d.Netlist, d.Placement)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	legal := "yes"
+	if err := d.Placement.CheckLegal(d.Netlist, d.Core); err != nil {
+		legal = fmt.Sprintf("NO (%v)", err)
+	}
+	rep := metrics.Evaluate(d.Netlist, d.Placement, d.Core, metrics.Options{
+		RouteCapacityFactor: *capacity,
+	})
+	ext := datapath.Extract(d.Netlist, datapath.DefaultOptions())
+	align := alignmentOf(d, ext)
+
+	fmt.Printf("design:           %s (%d cells, %d nets)\n",
+		d.Netlist.Name, d.Netlist.NumCells(), d.Netlist.NumNets())
+	fmt.Printf("legal:            %s\n", legal)
+	fmt.Printf("HPWL:             %.0f\n", rep.HPWL)
+	fmt.Printf("Steiner WL:       %.0f\n", rep.SteinerWL)
+	fmt.Printf("routed WL:        %.0f\n", rep.Routed.WirelengthDB)
+	fmt.Printf("route overflow:   %.0f tracks over %d edges (peak %.2fx)\n",
+		rep.Routed.Overflow, rep.Routed.OverflowEdges, rep.Routed.MaxUsage)
+	fmt.Printf("max utilization:  %.2f\n", rep.MaxUtil)
+	fmt.Printf("RUDY ACE5:        %.2f\n", rep.Congestion.ACE5)
+	fmt.Printf("datapath groups:  %d (%d cells); alignment RMS %.3f\n",
+		len(ext.Groups), ext.NumGrouped(), align)
+}
+
+// alignmentOf scores how bit-aligned the extracted groups are in this
+// placement (0 = perfect arrays).
+func alignmentOf(d *bookshelf.Design, ext *datapath.Extraction) float64 {
+	if len(ext.Groups) == 0 {
+		return 0
+	}
+	pl := d.Placement
+	n := 0
+	total := 0.0
+	pitch := d.Core.RowH()
+	for _, g := range ext.Groups {
+		for _, col := range g.Columns {
+			// Column x spread.
+			mu := 0.0
+			for _, c := range col {
+				mu += pl.X[c]
+			}
+			mu /= float64(len(col))
+			for _, c := range col {
+				dx := pl.X[c] - mu
+				total += dx * dx
+				n++
+			}
+			// Row pitch deviation.
+			base := 0.0
+			for b, c := range col {
+				base += pl.Y[c] - float64(b)*pitch
+			}
+			base /= float64(len(col))
+			for b, c := range col {
+				dy := pl.Y[c] - (base + float64(b)*pitch)
+				total += dy * dy
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sqrt(total / float64(n))
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

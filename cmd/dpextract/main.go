@@ -1,0 +1,50 @@
+// Command dpextract runs datapath extraction on a Bookshelf design and
+// reports the recovered groups.
+//
+// Usage:
+//
+//	dpextract [-structural-only] [-min-bits 4] [-min-stages 2] design.aux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bookshelf"
+	"repro/internal/datapath"
+)
+
+func main() {
+	structOnly := flag.Bool("structural-only", false, "ignore net names (pure structural inference)")
+	minBits := flag.Int("min-bits", 4, "minimum slice count per group")
+	minStages := flag.Int("min-stages", 2, "minimum columns per group")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dpextract [flags] design.aux")
+		os.Exit(2)
+	}
+
+	d, err := bookshelf.ReadAux(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := datapath.DefaultOptions()
+	opt.MinBits = *minBits
+	opt.MinStages = *minStages
+	if *structOnly {
+		opt.UseNames = false
+	}
+
+	ext := datapath.Extract(d.Netlist, opt)
+	fmt.Printf("design %s: %d cells, %d nets\n",
+		d.Netlist.Name, d.Netlist.NumCells(), d.Netlist.NumNets())
+	fmt.Printf("extracted %d groups covering %d cells (%.1f%% of movable)\n",
+		len(ext.Groups), ext.NumGrouped(),
+		100*float64(ext.NumGrouped())/float64(max(1, d.Netlist.NumMovable())))
+	for gi, g := range ext.Groups {
+		fmt.Printf("  group %2d: %3d bits x %3d stages (%d cells)\n",
+			gi, g.Bits(), g.Stages(), g.NumCells())
+	}
+}

@@ -1,0 +1,72 @@
+// Command dpgen generates a synthetic datapath-intensive benchmark and
+// writes it out in Bookshelf format.
+//
+// Usage:
+//
+//	dpgen -name dp01 -out ./bench [-seed 7] [-bits 16] [-units adder,muxtree]
+//	      [-random 2000] [-pads 16] [-scramble]
+//	dpgen -suite -out ./bench     # write the whole dp01..dp08 suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+)
+
+func main() {
+	name := flag.String("name", "bench", "design name")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 7, "generator seed")
+	bits := flag.Int("bits", 16, "datapath width")
+	units := flag.String("units", "adder,muxtree", "comma-separated unit kinds (adder,muxtree,shifter,regbank)")
+	random := flag.Int("random", 1000, "random-logic cells")
+	pads := flag.Int("pads", 16, "IO pads")
+	scramble := flag.Bool("scramble", false, "strip bus indices from net names")
+	suite := flag.Bool("suite", false, "generate the full dp01..dp08 suite instead")
+	flag.Parse()
+
+	if *suite {
+		for _, cfg := range gen.Suite() {
+			write(cfg, *out)
+		}
+		return
+	}
+
+	var kinds []gen.UnitKind
+	for _, u := range strings.Split(*units, ",") {
+		switch strings.TrimSpace(u) {
+		case "adder":
+			kinds = append(kinds, gen.Adder)
+		case "muxtree":
+			kinds = append(kinds, gen.MuxTree)
+		case "shifter":
+			kinds = append(kinds, gen.Shifter)
+		case "regbank":
+			kinds = append(kinds, gen.RegBank)
+		case "":
+		default:
+			log.Fatalf("dpgen: unknown unit kind %q", u)
+		}
+	}
+	write(gen.Config{
+		Name: *name, Seed: *seed, Bits: *bits, Units: kinds,
+		RandomCells: *random, Pads: *pads, Scramble: *scramble,
+	}, *out)
+}
+
+func write(cfg gen.Config, dir string) {
+	b := gen.Generate(cfg)
+	d := &bookshelf.Design{Netlist: b.Netlist, Placement: b.Placement, Core: b.Core}
+	path, err := bookshelf.WriteAux(dir, cfg.Name, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := b.Netlist.ComputeStats()
+	fmt.Printf("%s: %d cells, %d nets, %d pins, datapath fraction %.1f%% -> %s\n",
+		cfg.Name, s.Cells, s.Nets, s.Pins, b.DatapathFraction()*100, path)
+}

@@ -1,0 +1,113 @@
+// Command experiments regenerates every table and figure of the evaluation
+// and prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-quick] [-only 1,2,3,4,5,6,f5,f6,f7]
+//
+// -quick shrinks budgets and the suite for a fast smoke run; the default
+// (full) budget reproduces the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced budgets and suite")
+	only := flag.String("only", "", "comma-separated experiment ids (1,2,3,4,5,6,f5,f6,f7); empty = all")
+	flag.Parse()
+
+	opts := experiments.RunOpts{Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	cfgs := experiments.SuiteConfigs(opts)
+	out := os.Stdout
+
+	if sel("1") {
+		experiments.Table1(cfgs).Fprint(out)
+	}
+
+	var cases []*experiments.Case
+	if sel("2") || sel("3") {
+		var err error
+		cases, err = experiments.RunSuite(cfgs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sel("2") {
+		experiments.Table2(cases).Fprint(out)
+	}
+	if sel("3") {
+		experiments.Table3(cases).Fprint(out)
+	}
+	if sel("4") {
+		experiments.Table4(cfgs).Fprint(out)
+	}
+	if sel("5") {
+		n := 3
+		if len(cfgs) < n {
+			n = len(cfgs)
+		}
+		tbl, err := experiments.Table5(cfgs[:n], opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	if sel("6") {
+		// Seed robustness on the dp03 shape.
+		base := gen.Suite()[2]
+		tbl, err := experiments.Table6(base, []int64{103, 203, 303, 403, 503}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	if sel("f5") {
+		tbl, err := experiments.Figure5(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	if sel("f6") {
+		tbl, err := experiments.Figure6(convergenceConfig(opts), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	if sel("f7") {
+		tbl, err := experiments.Figure7(convergenceConfig(opts), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	fmt.Fprintln(out, "done.")
+}
+
+// convergenceConfig is the fixed design used by the per-iteration figures
+// (dp03 in the full suite; a shrunken variant in quick mode).
+func convergenceConfig(opts experiments.RunOpts) gen.Config {
+	cfg := gen.Suite()[2]
+	if opts.Quick {
+		cfg.RandomCells = 400
+	}
+	return cfg
+}

@@ -1,0 +1,87 @@
+package dpplace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	dpplace "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface: generate →
+// extract → place (both modes) → evaluate → render → Bookshelf round trip.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	bench := dpplace.Generate(dpplace.BenchConfig{
+		Name: "api", Seed: 11, Bits: 8,
+		Units:       []dpplace.UnitKind{dpplace.Adder, dpplace.RegBank},
+		RandomCells: 200,
+	})
+
+	ext := dpplace.Extract(bench.Netlist, dpplace.DefaultExtractOptions())
+	if ext.NumGrouped() == 0 {
+		t.Fatal("extraction found nothing")
+	}
+	score := dpplace.ScoreExtraction(bench.Truth, ext.Labels())
+	if score.F1 < 0.9 {
+		t.Errorf("extraction F1 = %.3f", score.F1)
+	}
+
+	res, err := dpplace.Place(bench.Netlist, bench.Core, bench.Placement, dpplace.Options{
+		Mode: dpplace.StructureAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LegalityChecked {
+		t.Error("placement not verified legal")
+	}
+
+	rep := dpplace.Evaluate(bench.Netlist, res.Placement, bench.Core, dpplace.ReportOptions{})
+	if rep.HPWL <= 0 {
+		t.Errorf("report HPWL = %g", rep.HPWL)
+	}
+
+	var svg bytes.Buffer
+	if err := dpplace.WriteSVG(&svg, bench.Netlist, res.Placement, bench.Core, res.Extraction, "api"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "</svg>") {
+		t.Error("SVG incomplete")
+	}
+
+	dir := t.TempDir()
+	aux, err := dpplace.WriteBookshelf(dir, "api", &dpplace.Design{
+		Netlist: bench.Netlist, Placement: res.Placement, Core: bench.Core,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dpplace.ReadBookshelf(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Netlist.NumCells() != bench.Netlist.NumCells() {
+		t.Errorf("round trip lost cells: %d vs %d",
+			back.Netlist.NumCells(), bench.Netlist.NumCells())
+	}
+	// The written placement must still be legal after the round trip.
+	if err := back.Placement.CheckLegal(back.Netlist, back.Core); err != nil {
+		t.Errorf("round-tripped placement illegal: %v", err)
+	}
+}
+
+func TestPublicBaselineMode(t *testing.T) {
+	bench := dpplace.Generate(dpplace.BenchConfig{
+		Name: "apib", Seed: 12, Bits: 8,
+		Units: []dpplace.UnitKind{dpplace.MuxTree}, RandomCells: 150,
+	})
+	res, err := dpplace.Place(bench.Netlist, bench.Core, bench.Placement, dpplace.Options{
+		Mode: dpplace.Baseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extraction != nil {
+		t.Error("baseline mode ran extraction")
+	}
+}

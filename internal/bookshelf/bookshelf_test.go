@@ -1,0 +1,231 @@
+package bookshelf
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+const nodesText = `UCLA nodes 1.0
+# comment line
+NumNodes : 4
+NumTerminals : 1
+
+a 2 10
+b 3 10
+c 2 10
+pad 1 1 terminal
+`
+
+const netsText = `UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+
+NetDegree : 3 n1
+	a O : 1.0 0.0
+	b I : -1.5 0.0
+	pad I : 0 0
+NetDegree : 2 n2
+	b O : 1.5 0
+	c I : -1 0
+`
+
+const plText = `UCLA pl 1.0
+a 0 0 : N
+b 10 0 : N
+c 20 10 : N
+pad 50 50 : N /FIXED
+`
+
+const sclText = `UCLA scl 1.0
+NumRows : 2
+
+CoreRow Horizontal
+ Coordinate : 0
+ Height : 10
+ Sitewidth : 1
+ Sitespacing : 1
+ SubrowOrigin : 0 NumSites : 100
+End
+CoreRow Horizontal
+ Coordinate : 10
+ Height : 10
+ Sitewidth : 1
+ Sitespacing : 1
+ SubrowOrigin : 0 NumSites : 100
+End
+`
+
+func TestReadNodes(t *testing.T) {
+	nl := netlist.New("t")
+	if err := ReadNodes(strings.NewReader(nodesText), nl); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 4 {
+		t.Fatalf("NumCells = %d", nl.NumCells())
+	}
+	pad := nl.Cell(nl.CellByName("pad"))
+	if !pad.Fixed {
+		t.Error("terminal not marked fixed")
+	}
+	a := nl.Cell(nl.CellByName("a"))
+	if a.W != 2 || a.H != 10 || a.Fixed {
+		t.Errorf("cell a = %+v", a)
+	}
+}
+
+func TestReadNetsOffsetsConverted(t *testing.T) {
+	nl := netlist.New("t")
+	if err := ReadNodes(strings.NewReader(nodesText), nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadNets(strings.NewReader(netsText), nl); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumNets() != 2 || nl.NumPins() != 5 {
+		t.Fatalf("nets/pins = %d/%d", nl.NumNets(), nl.NumPins())
+	}
+	// Pin of "a" (2x10) on n1 had Bookshelf offset (1, 0) from center
+	// → lower-left offset (2/2+1, 10/2+0) = (2, 5).
+	n1 := nl.Net(nl.NetByName("n1"))
+	p := nl.Pin(n1.Pins[0])
+	if p.DX != 2 || p.DY != 5 {
+		t.Errorf("converted offset = (%g,%g), want (2,5)", p.DX, p.DY)
+	}
+	if p.Dir != netlist.DirOutput {
+		t.Errorf("dir = %v", p.Dir)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadNetsErrors(t *testing.T) {
+	nl := netlist.New("t")
+	if err := ReadNodes(strings.NewReader(nodesText), nl); err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"NetDegree : 2 n1\n\tzzz I : 0 0\n\ta I : 0 0\n", // unknown cell
+		"NetDegree : 3 n1\n\ta I : 0 0\n\tb I : 0 0\n",   // short net
+		"a I : 0 0\n",                                   // pin outside net
+		"NetDegree : x n1\n\ta I : 0 0\n",               // bad degree
+		"NetDegree : 2 n1\n\ta I : zz 0\n\tb I : 0 0\n", // bad offset
+	}
+	for _, text := range cases {
+		nl2 := netlist.New("t")
+		_ = ReadNodes(strings.NewReader(nodesText), nl2)
+		if err := ReadNets(strings.NewReader(text), nl2); err == nil {
+			t.Errorf("malformed nets accepted:\n%s", text)
+		}
+	}
+}
+
+func TestReadPl(t *testing.T) {
+	nl := netlist.New("t")
+	if err := ReadNodes(strings.NewReader(nodesText), nl); err != nil {
+		t.Fatal(err)
+	}
+	pl := netlist.NewPlacement(nl)
+	if err := ReadPl(strings.NewReader(plText), nl, pl); err != nil {
+		t.Fatal(err)
+	}
+	b := nl.CellByName("b")
+	if pl.X[b] != 10 || pl.Y[b] != 0 {
+		t.Errorf("b at (%g,%g)", pl.X[b], pl.Y[b])
+	}
+	if !nl.Cell(nl.CellByName("pad")).Fixed {
+		t.Error("/FIXED not honored")
+	}
+}
+
+func TestReadScl(t *testing.T) {
+	core, err := ReadScl(strings.NewReader(sclText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", core.NumRows())
+	}
+	if core.Rows[1].Y != 10 || core.Rows[1].H != 10 || core.Rows[1].W != 100 {
+		t.Errorf("row[1] = %+v", core.Rows[1])
+	}
+	if core.Region != geom.NewRect(0, 0, 100, 20) {
+		t.Errorf("Region = %v", core.Region)
+	}
+}
+
+func TestReadSclEmpty(t *testing.T) {
+	if _, err := ReadScl(strings.NewReader("UCLA scl 1.0\n")); err == nil {
+		t.Error("empty scl accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	// Build a design in memory, write it, read it back, compare.
+	nl := netlist.New("rt")
+	a := nl.MustAddCell("a", "STD", 2, 10, false)
+	b := nl.MustAddCell("b", "STD", 3, 10, false)
+	pad := nl.MustAddCell("pad", "TERM", 1, 1, true)
+	nl.MustAddNet("n1", 1,
+		netlist.Endpoint{Cell: a, Pin: "Y", Dir: netlist.DirOutput, DX: 2, DY: 5},
+		netlist.Endpoint{Cell: b, Pin: "A", Dir: netlist.DirInput, DX: 0, DY: 5},
+		netlist.Endpoint{Cell: pad, Pin: "P", Dir: netlist.DirInput, DX: 0.5, DY: 0.5},
+	)
+	pl := netlist.NewPlacement(nl)
+	pl.X[a], pl.Y[a] = 1, 0
+	pl.X[b], pl.Y[b] = 7, 10
+	pl.X[pad], pl.Y[pad] = 90, 90
+	core := geom.NewCore(geom.NewRect(0, 0, 100, 20), 10, 1)
+	d := &Design{Netlist: nl, Placement: pl, Core: core}
+
+	dir := t.TempDir()
+	auxPath, err := WriteAux(dir, "rt", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(auxPath) != "rt.aux" {
+		t.Errorf("aux path = %s", auxPath)
+	}
+
+	got, err := ReadAux(auxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Netlist.NumCells() != 3 || got.Netlist.NumNets() != 1 || got.Netlist.NumPins() != 3 {
+		t.Fatalf("reread counts wrong: %d cells %d nets %d pins",
+			got.Netlist.NumCells(), got.Netlist.NumNets(), got.Netlist.NumPins())
+	}
+	ga := got.Netlist.CellByName("a")
+	if got.Placement.X[ga] != 1 || got.Placement.Y[ga] != 0 {
+		t.Errorf("a reread at (%g,%g)", got.Placement.X[ga], got.Placement.Y[ga])
+	}
+	if !got.Netlist.Cell(got.Netlist.CellByName("pad")).Fixed {
+		t.Error("fixed flag lost in round trip")
+	}
+	// Pin offsets survive the center-relative conversion.
+	n := got.Netlist.NetByName("n1")
+	p := got.Netlist.Pin(got.Netlist.Net(n).Pins[0])
+	if math.Abs(p.DX-2) > 1e-9 || math.Abs(p.DY-5) > 1e-9 {
+		t.Errorf("pin offset after round trip = (%g,%g), want (2,5)", p.DX, p.DY)
+	}
+	// Core survives.
+	if got.Core == nil || got.Core.NumRows() != 2 || got.Core.Region != core.Region {
+		t.Errorf("core after round trip = %+v", got.Core)
+	}
+	// HPWL identical before and after.
+	if w1, w2 := pl.HPWL(nl), got.Placement.HPWL(got.Netlist); math.Abs(w1-w2) > 1e-9 {
+		t.Errorf("HPWL changed: %g -> %g", w1, w2)
+	}
+}
+
+func TestReadAuxMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadAux(filepath.Join(dir, "absent.aux")); err == nil {
+		t.Error("missing aux accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package bookshelf reads and writes the UCLA Bookshelf placement format
+// (.aux/.nodes/.nets/.pl/.scl), the lingua franca of academic placers. Only
+// the row-based standard-cell subset used by placement benchmarks is
+// supported.
+//
+// Offset convention: Bookshelf pin offsets are relative to the cell center;
+// the in-memory netlist stores offsets from the cell's lower-left corner.
+// Readers and writers convert between the two.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Design bundles everything a Bookshelf benchmark describes.
+type Design struct {
+	Netlist   *netlist.Netlist
+	Placement *netlist.Placement
+	Core      *geom.Core
+}
+
+// ReadAux loads a complete design given the path of its .aux file.
+func ReadAux(path string) (*Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bookshelf: %w", err)
+	}
+	defer f.Close()
+
+	var nodes, nets, pl, scl string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl"
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[i+1:]
+		}
+		for _, tok := range strings.Fields(line) {
+			switch filepath.Ext(tok) {
+			case ".nodes":
+				nodes = tok
+			case ".nets":
+				nets = tok
+			case ".pl":
+				pl = tok
+			case ".scl":
+				scl = tok
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bookshelf: reading %s: %w", path, err)
+	}
+	if nodes == "" || nets == "" {
+		return nil, fmt.Errorf("bookshelf: %s does not reference .nodes and .nets files", path)
+	}
+	dir := filepath.Dir(path)
+	name := strings.TrimSuffix(filepath.Base(path), ".aux")
+
+	nl := netlist.New(name)
+	if err := readFileInto(filepath.Join(dir, nodes), func(r io.Reader) error {
+		return ReadNodes(r, nl)
+	}); err != nil {
+		return nil, err
+	}
+	if err := readFileInto(filepath.Join(dir, nets), func(r io.Reader) error {
+		return ReadNets(r, nl)
+	}); err != nil {
+		return nil, err
+	}
+	d := &Design{Netlist: nl, Placement: netlist.NewPlacement(nl)}
+	if pl != "" {
+		if err := readFileInto(filepath.Join(dir, pl), func(r io.Reader) error {
+			return ReadPl(r, nl, d.Placement)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if scl != "" {
+		if err := readFileInto(filepath.Join(dir, scl), func(r io.Reader) error {
+			core, err := ReadScl(r)
+			d.Core = core
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("bookshelf: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+func readFileInto(path string, fn func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bookshelf: %w", err)
+	}
+	defer f.Close()
+	if err := fn(bufio.NewReader(f)); err != nil {
+		return fmt.Errorf("bookshelf: %s: %w", path, err)
+	}
+	return nil
+}
+
+// lineScanner yields non-empty, comment-stripped lines with their numbers.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	line string
+	num  int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	return &lineScanner{sc: sc}
+}
+
+func (ls *lineScanner) next() bool {
+	for ls.sc.Scan() {
+		ls.num++
+		line := ls.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "UCLA") {
+			continue
+		}
+		ls.line = line
+		return true
+	}
+	return false
+}
+
+func (ls *lineScanner) err() error { return ls.sc.Err() }
+
+// headerValue parses "Key : value" lines, returning ok=false when the line
+// does not start with key.
+func headerValue(line, key string) (string, bool) {
+	if !strings.HasPrefix(line, key) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(line, key)
+	rest = strings.TrimSpace(rest)
+	rest = strings.TrimPrefix(rest, ":")
+	return strings.TrimSpace(rest), true
+}
+
+// ReadNodes parses a .nodes stream into nl.
+func ReadNodes(r io.Reader, nl *netlist.Netlist) error {
+	ls := newLineScanner(r)
+	for ls.next() {
+		if _, ok := headerValue(ls.line, "NumNodes"); ok {
+			continue
+		}
+		if _, ok := headerValue(ls.line, "NumTerminals"); ok {
+			continue
+		}
+		fields := strings.Fields(ls.line)
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: malformed node %q", ls.num, ls.line)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad width %q", ls.num, fields[1])
+		}
+		h, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad height %q", ls.num, fields[2])
+		}
+		fixed := len(fields) > 3 && strings.EqualFold(fields[3], "terminal")
+		typ := "STD"
+		if fixed {
+			typ = "TERM"
+		}
+		if _, err := nl.AddCell(fields[0], typ, w, h, fixed); err != nil {
+			return fmt.Errorf("line %d: %w", ls.num, err)
+		}
+	}
+	return ls.err()
+}
+
+// ReadNets parses a .nets stream into nl, which must already hold the cells.
+func ReadNets(r io.Reader, nl *netlist.Netlist) error {
+	ls := newLineScanner(r)
+	netCount := 0
+	var pending []netlist.Endpoint
+	var pendingName string
+	var pendingLeft int
+
+	flush := func() error {
+		if pendingName == "" {
+			return nil
+		}
+		if pendingLeft != 0 {
+			return fmt.Errorf("net %q: expected %d more pins", pendingName, pendingLeft)
+		}
+		if _, err := nl.AddNet(pendingName, 1, pending...); err != nil {
+			return err
+		}
+		pendingName = ""
+		pending = nil
+		return nil
+	}
+
+	for ls.next() {
+		if _, ok := headerValue(ls.line, "NumNets"); ok {
+			continue
+		}
+		if _, ok := headerValue(ls.line, "NumPins"); ok {
+			continue
+		}
+		if v, ok := headerValue(ls.line, "NetDegree"); ok {
+			if err := flush(); err != nil {
+				return fmt.Errorf("line %d: %w", ls.num, err)
+			}
+			fields := strings.Fields(v)
+			if len(fields) == 0 {
+				return fmt.Errorf("line %d: NetDegree missing count", ls.num)
+			}
+			deg, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return fmt.Errorf("line %d: bad NetDegree %q", ls.num, fields[0])
+			}
+			pendingLeft = deg
+			if len(fields) > 1 {
+				pendingName = fields[1]
+			} else {
+				pendingName = fmt.Sprintf("net%d", netCount)
+			}
+			netCount++
+			continue
+		}
+		// Pin line: "cellname I : dx dy" (offsets optional).
+		if pendingName == "" {
+			return fmt.Errorf("line %d: pin line outside a net: %q", ls.num, ls.line)
+		}
+		fields := strings.Fields(strings.ReplaceAll(ls.line, ":", " "))
+		if len(fields) < 2 {
+			return fmt.Errorf("line %d: malformed pin %q", ls.num, ls.line)
+		}
+		cid := nl.CellByName(fields[0])
+		if cid == netlist.NoCell {
+			return fmt.Errorf("line %d: unknown cell %q", ls.num, fields[0])
+		}
+		var dir netlist.Dir
+		switch strings.ToUpper(fields[1]) {
+		case "I":
+			dir = netlist.DirInput
+		case "O":
+			dir = netlist.DirOutput
+		default:
+			dir = netlist.DirInout
+		}
+		var dx, dy float64
+		if len(fields) >= 4 {
+			var err error
+			if dx, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return fmt.Errorf("line %d: bad pin offset %q", ls.num, fields[2])
+			}
+			if dy, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return fmt.Errorf("line %d: bad pin offset %q", ls.num, fields[3])
+			}
+		}
+		// Optional 5th token: pin name (academic extension). Without it,
+		// pins get positional names and structural extraction loses the
+		// pin-role signal.
+		pinName := fmt.Sprintf("p%d", len(pending))
+		if len(fields) >= 5 {
+			pinName = fields[4]
+		}
+		cell := nl.Cell(cid)
+		// Convert center-relative Bookshelf offsets to lower-left-relative.
+		pending = append(pending, netlist.Endpoint{
+			Cell: cid,
+			Pin:  pinName,
+			Dir:  dir,
+			DX:   cell.W/2 + dx,
+			DY:   cell.H/2 + dy,
+		})
+		pendingLeft--
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return ls.err()
+}
+
+// ReadPl parses a .pl stream into pl. Cells marked /FIXED become fixed in nl.
+func ReadPl(r io.Reader, nl *netlist.Netlist, pl *netlist.Placement) error {
+	ls := newLineScanner(r)
+	for ls.next() {
+		fields := strings.Fields(ls.line)
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: malformed placement %q", ls.num, ls.line)
+		}
+		cid := nl.CellByName(fields[0])
+		if cid == netlist.NoCell {
+			return fmt.Errorf("line %d: unknown cell %q", ls.num, fields[0])
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad x %q", ls.num, fields[1])
+		}
+		y, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad y %q", ls.num, fields[2])
+		}
+		pl.X[cid] = x
+		pl.Y[cid] = y
+		if strings.Contains(ls.line, "/FIXED") {
+			nl.Cell(cid).Fixed = true
+		}
+	}
+	return ls.err()
+}
+
+// ReadScl parses a .scl stream into a Core. Rows must be uniform in height;
+// the core region is the bounding box of all rows.
+func ReadScl(r io.Reader) (*geom.Core, error) {
+	ls := newLineScanner(r)
+	var rows []geom.Row
+	var cur geom.Row
+	var numSites float64
+	inRow := false
+	for ls.next() {
+		switch {
+		case strings.HasPrefix(ls.line, "CoreRow"):
+			inRow = true
+			cur = geom.Row{SiteW: 1}
+			numSites = 0
+		case strings.HasPrefix(ls.line, "End"):
+			if inRow {
+				cur.W = numSites * cur.SiteW
+				rows = append(rows, cur)
+				inRow = false
+			}
+		case inRow:
+			// Row attribute lines may carry several "Key : value" pairs.
+			if v, ok := headerValue(ls.line, "Coordinate"); ok {
+				if _, err := fmt.Sscan(v, &cur.Y); err != nil {
+					return nil, fmt.Errorf("line %d: bad Coordinate %q", ls.num, v)
+				}
+			} else if v, ok := headerValue(ls.line, "Height"); ok {
+				if _, err := fmt.Sscan(v, &cur.H); err != nil {
+					return nil, fmt.Errorf("line %d: bad Height %q", ls.num, v)
+				}
+			} else if v, ok := headerValue(ls.line, "Sitewidth"); ok {
+				if _, err := fmt.Sscan(v, &cur.SiteW); err != nil {
+					return nil, fmt.Errorf("line %d: bad Sitewidth %q", ls.num, v)
+				}
+			} else if v, ok := headerValue(ls.line, "SubrowOrigin"); ok {
+				// "SubrowOrigin : x NumSites : n"
+				fields := strings.Fields(strings.ReplaceAll(v, ":", " "))
+				if len(fields) >= 1 {
+					if _, err := fmt.Sscan(fields[0], &cur.X); err != nil {
+						return nil, fmt.Errorf("line %d: bad SubrowOrigin %q", ls.num, v)
+					}
+				}
+				for i := 0; i+1 < len(fields); i++ {
+					if strings.EqualFold(fields[i], "NumSites") {
+						if _, err := fmt.Sscan(fields[i+1], &numSites); err != nil {
+							return nil, fmt.Errorf("line %d: bad NumSites %q", ls.num, fields[i+1])
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("scl: no rows found")
+	}
+	var bb geom.BBox
+	for _, row := range rows {
+		bb.ExpandRect(row.Rect())
+	}
+	return &geom.Core{Region: bb.Rect(), Rows: rows}, nil
+}

@@ -1,0 +1,121 @@
+package bookshelf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// Robustness against real-world Bookshelf file quirks: comments between
+// records, blank lines, tabs, CRLF-ish spacing and unnamed nets.
+func TestReadNodesQuirks(t *testing.T) {
+	text := `UCLA nodes 1.0
+# header comment
+
+NumNodes : 3
+NumTerminals : 1
+	a	 2	 10
+# mid-file comment
+
+b 3 10
+
+pad 1 1 terminal
+`
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader(text), nl); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 3 {
+		t.Fatalf("cells = %d", nl.NumCells())
+	}
+}
+
+func TestReadNetsUnnamedNets(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\nb 3 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	// NetDegree without a name: reader must synthesize one.
+	text := `UCLA nets 1.0
+NetDegree : 2
+	a O : 0 0
+	b I : 0 0
+NetDegree : 2
+	b O : 0 0
+	a I : 0 0
+`
+	if err := ReadNets(strings.NewReader(text), nl); err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumNets() != 2 {
+		t.Fatalf("nets = %d", nl.NumNets())
+	}
+	if nl.NetByName("net0") == netlist.NoNet || nl.NetByName("net1") == netlist.NoNet {
+		t.Error("synthesized net names missing")
+	}
+}
+
+func TestReadNetsWithoutOffsets(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\nb 4 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	// Pins without offsets default to the cell center.
+	text := "NetDegree : 2 n\n\ta O\n\tb I\n"
+	if err := ReadNets(strings.NewReader(text), nl); err != nil {
+		t.Fatal(err)
+	}
+	p := nl.Pin(nl.Net(0).Pins[0])
+	if p.DX != 1 || p.DY != 5 { // center of 2x10
+		t.Errorf("default offset = (%g,%g), want cell center (1,5)", p.DX, p.DY)
+	}
+}
+
+func TestReadPlQuirks(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	pl := netlist.NewPlacement(nl)
+	// Orientation token and trailing comment.
+	text := "UCLA pl 1.0\n# c\n a   12.5   30 : N # trailing\n"
+	if err := ReadPl(strings.NewReader(text), nl, pl); err != nil {
+		t.Fatal(err)
+	}
+	if pl.X[0] != 12.5 || pl.Y[0] != 30 {
+		t.Errorf("pos = (%g,%g)", pl.X[0], pl.Y[0])
+	}
+	// Unknown cell must error.
+	if err := ReadPl(strings.NewReader("zzz 0 0 : N\n"), nl, pl); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	// Malformed coordinates must error.
+	if err := ReadPl(strings.NewReader("a x 0 : N\n"), nl, pl); err == nil {
+		t.Error("bad x accepted")
+	}
+}
+
+func TestReadSclMultipleRowHeights(t *testing.T) {
+	// Non-uniform rows are legal Bookshelf; the reader keeps them as given.
+	text := `CoreRow Horizontal
+ Coordinate : 0
+ Height : 10
+ Sitewidth : 1
+ SubrowOrigin : 0 NumSites : 50
+End
+CoreRow Horizontal
+ Coordinate : 10
+ Height : 20
+ Sitewidth : 2
+ SubrowOrigin : 5 NumSites : 30
+End
+`
+	core, err := ReadScl(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Rows[1].H != 20 || core.Rows[1].SiteW != 2 || core.Rows[1].X != 5 || core.Rows[1].W != 60 {
+		t.Errorf("row[1] = %+v", core.Rows[1])
+	}
+}

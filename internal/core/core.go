@@ -1,0 +1,179 @@
+// Package core is the top-level API of the structure-aware placement flow —
+// the system the paper contributes. One call runs the full pipeline:
+//
+//	datapath extraction → analytical global placement (+ alignment forces)
+//	→ structure-preserving legalization → detailed placement
+//
+// Baseline mode runs the identical engine with extraction and alignment
+// disabled, so measured differences isolate structure-awareness — the
+// evaluation protocol of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datapath"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place/detail"
+	"repro/internal/place/global"
+	"repro/internal/place/legal"
+)
+
+// Mode selects the flow variant.
+type Mode int
+
+// Flow variants.
+const (
+	// Baseline is a generic analytical placer: no extraction, no alignment.
+	Baseline Mode = iota
+	// StructureAware runs extraction and aligns the recovered groups.
+	StructureAware
+)
+
+func (m Mode) String() string {
+	if m == StructureAware {
+		return "structure-aware"
+	}
+	return "baseline"
+}
+
+// Options configures the pipeline.
+type Options struct {
+	Mode Mode
+	// Extraction parameters (StructureAware only). Zero value = defaults.
+	Extraction datapath.Options
+	// Global placement parameters. Mode-driven fields (Groups) are set by
+	// the pipeline.
+	Global global.Options
+	// DetailPasses is the number of detailed-placement sweeps (default 2;
+	// -1 disables detailed placement).
+	DetailPasses int
+	// SkipLegalize stops after global placement (for convergence studies).
+	SkipLegalize bool
+}
+
+// StageTimes records wall-clock time per pipeline stage.
+type StageTimes struct {
+	Extract  time.Duration
+	Global   time.Duration
+	Legalize time.Duration
+	Detail   time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration {
+	return s.Extract + s.Global + s.Legalize + s.Detail
+}
+
+// Result is the pipeline outcome.
+type Result struct {
+	Placement  *netlist.Placement
+	Extraction *datapath.Extraction // nil in baseline mode
+
+	GlobalResult    global.Result
+	LegalResult     legal.Result
+	DetailResult    detail.Result
+	ColumnSwaps     int     // accepted stage-order swaps (structure-aware only)
+	HPWLGlobal      float64 // after global placement
+	HPWLLegal       float64 // after legalization
+	HPWLFinal       float64 // after detailed placement
+	AlignmentRMS    float64 // final alignment score over extracted groups
+	GroupedCells    int
+	Times           StageTimes
+	LegalityChecked bool
+}
+
+// Place runs the pipeline on a netlist. initial provides fixed-cell
+// positions and the starting point for movables; it is not modified. The
+// returned placement is legal (unless SkipLegalize).
+func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt Options) (*Result, error) {
+	if opt.DetailPasses == 0 {
+		opt.DetailPasses = 2
+	}
+	pl := initial.Clone()
+	res := &Result{Placement: pl}
+
+	var groups []global.AlignGroup
+	if opt.Mode == StructureAware {
+		// A zero Extraction (no inference mode selected) means "defaults".
+		if !opt.Extraction.UseNames && !opt.Extraction.UseStructural {
+			opt.Extraction = datapath.DefaultOptions()
+		}
+		t0 := time.Now()
+		ext := datapath.Extract(nl, opt.Extraction)
+		res.Times.Extract = time.Since(t0)
+		res.Extraction = ext
+		res.GroupedCells = ext.NumGrouped()
+		groups = global.AlignGroupsFromExtraction(ext)
+	}
+
+	gOpt := opt.Global
+	if len(groups) > 0 && !gOpt.SkipQuadraticInit {
+		// Run the quadratic initial solve up front so bank folding can
+		// order columns by their wirelength-driven positions; a merged
+		// datapath chain can be far wider than the core, and folding it
+		// into banks is the layout a designer would draw.
+		global.InitQuadratic(nl, pl, chip)
+		gOpt.SkipQuadraticInit = true
+		// 0.95: fold only when a single band genuinely cannot fit — a
+		// full-width band is the classic datapath layout and splitting it
+		// unnecessarily costs wirelength.
+		groups = global.SplitWideGroups(nl, pl, chip, groups, 0.95)
+	}
+	gOpt.Groups = groups
+	t0 := time.Now()
+	gRes, err := global.Place(nl, pl, chip, gOpt)
+	if err != nil {
+		return nil, fmt.Errorf("core: global placement: %w", err)
+	}
+	res.Times.Global = time.Since(t0)
+	res.GlobalResult = gRes
+	res.HPWLGlobal = pl.HPWL(nl)
+
+	if opt.SkipLegalize {
+		res.HPWLFinal = res.HPWLGlobal
+		return res, nil
+	}
+
+	t0 = time.Now()
+	lRes, err := legal.Legalize(nl, pl, chip, legal.Options{Groups: groups})
+	if err != nil {
+		return nil, fmt.Errorf("core: legalization: %w", err)
+	}
+	res.Times.Legalize = time.Since(t0)
+	res.LegalResult = lRes
+	res.HPWLLegal = pl.HPWL(nl)
+
+	if opt.DetailPasses > 0 {
+		t0 = time.Now()
+		// Group cells are locked against generic moves; their stage order
+		// is optimized by the structure-preserving column swaps instead.
+		res.DetailResult = detail.Improve(nl, pl, chip, detail.Options{
+			Locked: detail.LockedFromGroups(nl.NumCells(), groups),
+			Passes: opt.DetailPasses,
+		})
+		if len(groups) > 0 {
+			res.ColumnSwaps = detail.ImproveColumns(nl, pl, groups, opt.DetailPasses)
+		}
+		res.Times.Detail = time.Since(t0)
+	}
+	res.HPWLFinal = pl.HPWL(nl)
+
+	if err := pl.CheckLegal(nl, chip); err != nil {
+		return nil, fmt.Errorf("core: final placement illegal: %w", err)
+	}
+	res.LegalityChecked = true
+
+	if len(groups) > 0 {
+		cx := make([]float64, nl.NumCells())
+		cy := make([]float64, nl.NumCells())
+		for i := range nl.Cells {
+			cx[i] = pl.X[i] + nl.Cells[i].W/2
+			cy[i] = pl.Y[i] + nl.Cells[i].H/2
+		}
+		res.AlignmentRMS = global.AlignmentScore(groups, chip.RowH(), cx, cy)
+	}
+	return res, nil
+}

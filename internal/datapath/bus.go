@@ -1,0 +1,205 @@
+package datapath
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Bus is an ordered set of nets believed to carry one signal per bit.
+type Bus struct {
+	Name string // base name, or "" for structurally inferred buses
+	Nets []netlist.NetID
+}
+
+// Bits returns the bus width.
+func (b *Bus) Bits() int { return len(b.Nets) }
+
+// parseBusName splits names of the forms "base[12]", "base<12>" and
+// "base_12" into (base, index). ok is false for non-bus names.
+func parseBusName(name string) (base string, idx int, ok bool) {
+	if n := len(name); n > 2 {
+		var open, close byte
+		switch name[n-1] {
+		case ']':
+			open, close = '[', ']'
+		case '>':
+			open, close = '<', '>'
+		}
+		if close != 0 {
+			if i := strings.LastIndexByte(name, open); i > 0 {
+				if v, err := strconv.Atoi(name[i+1 : n-1]); err == nil && v >= 0 {
+					return name[:i], v, true
+				}
+			}
+		}
+	}
+	if i := strings.LastIndexByte(name, '_'); i > 0 && i < len(name)-1 {
+		if v, err := strconv.Atoi(name[i+1:]); err == nil && v >= 0 {
+			return name[:i], v, true
+		}
+	}
+	return "", 0, false
+}
+
+// NameBuses infers buses from net names: nets named base[i] (or base_i,
+// base<i>) group into one bus per base, ordered by index. Buses narrower
+// than minBits are dropped, as are bases with duplicate indices (ambiguous).
+func NameBuses(nl *netlist.Netlist, minBits int) []Bus {
+	type member struct {
+		idx int
+		net netlist.NetID
+	}
+	byBase := make(map[string][]member)
+	for ni := range nl.Nets {
+		base, idx, ok := parseBusName(nl.Nets[ni].Name)
+		if !ok {
+			continue
+		}
+		byBase[base] = append(byBase[base], member{idx, netlist.NetID(ni)})
+	}
+	bases := make([]string, 0, len(byBase))
+	for b := range byBase {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+
+	var buses []Bus
+	for _, base := range bases {
+		members := byBase[base]
+		if len(members) < minBits {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a].idx < members[b].idx })
+		dup := false
+		for i := 1; i < len(members); i++ {
+			if members[i].idx == members[i-1].idx {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		bus := Bus{Name: base, Nets: make([]netlist.NetID, 0, len(members))}
+		for _, m := range members {
+			bus.Nets = append(bus.Nets, m.net)
+		}
+		buses = append(buses, bus)
+	}
+	return buses
+}
+
+// StructuralBuses infers buses with no name information: nets sharing a
+// structural signature form one bus, ordered by net id. Signature classes
+// narrower than minBits are dropped. Degenerate giant classes (wider than
+// maxBits) are dropped too — they are almost always clock/reset-like
+// patterns, not data buses.
+func StructuralBuses(nl *netlist.Netlist, netSigs []Sig, minBits, maxBits int) []Bus {
+	bySig := make(map[Sig][]netlist.NetID)
+	for ni := range nl.Nets {
+		// Single-pin and 1-degree nets carry no slice structure.
+		if nl.Nets[ni].Degree() < 2 {
+			continue
+		}
+		bySig[netSigs[ni]] = append(bySig[netSigs[ni]], netlist.NetID(ni))
+	}
+	sigs := make([]Sig, 0, len(bySig))
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(a, b int) bool { return sigs[a] < sigs[b] })
+
+	var buses []Bus
+	for _, s := range sigs {
+		nets := bySig[s]
+		if len(nets) < minBits || (maxBits > 0 && len(nets) > maxBits) {
+			continue
+		}
+		sort.Slice(nets, func(a, b int) bool { return nets[a] < nets[b] })
+		// A chained structure (stage k feeding stage k+1 through identical
+		// cells) puts the nets of every stage into one signature class;
+		// seeding that mixed class produces columns that straddle stages
+		// and cannot grow. Split the class by chain depth first.
+		for _, sub := range splitByChainDepth(nl, nets) {
+			if len(sub) >= minBits {
+				buses = append(buses, Bus{Nets: sub})
+			}
+		}
+	}
+	return buses
+}
+
+// splitByChainDepth partitions same-signature nets by their depth within
+// the class: a net whose driver cell is itself fed by a class member sits
+// one stage deeper than that member. Nets outside any chain all have depth
+// zero, so unchained classes pass through unchanged.
+func splitByChainDepth(nl *netlist.Netlist, nets []netlist.NetID) [][]netlist.NetID {
+	inClass := make(map[netlist.NetID]bool, len(nets))
+	for _, n := range nets {
+		inClass[n] = true
+	}
+	depth := make(map[netlist.NetID]int, len(nets))
+	var depthOf func(n netlist.NetID, guard int) int
+	depthOf = func(n netlist.NetID, guard int) int {
+		if d, ok := depth[n]; ok {
+			return d
+		}
+		depth[n] = 0 // breaks cycles
+		if guard > len(nets) {
+			return 0
+		}
+		d := 0
+		drv := driverPin(nl, n)
+		if drv >= 0 {
+			cell := nl.Pin(drv).Cell
+			if cell != netlist.NoCell {
+				for _, pid := range nl.Cell(cell).Pins {
+					p := nl.Pin(pid)
+					if p.Dir != netlist.DirInput || !inClass[p.Net] {
+						continue
+					}
+					if pd := depthOf(p.Net, guard+1) + 1; pd > d {
+						d = pd
+					}
+				}
+			}
+		}
+		depth[n] = d
+		return d
+	}
+	byDepth := map[int][]netlist.NetID{}
+	maxD := 0
+	for _, n := range nets {
+		d := depthOf(n, 0)
+		byDepth[d] = append(byDepth[d], n)
+		if d > maxD {
+			maxD = d
+		}
+	}
+	out := make([][]netlist.NetID, 0, maxD+1)
+	for d := 0; d <= maxD; d++ {
+		if len(byDepth[d]) > 0 {
+			out = append(out, byDepth[d])
+		}
+	}
+	return out
+}
+
+// driverPin returns the pin id of the net's unique output endpoint, or -1.
+func driverPin(nl *netlist.Netlist, n netlist.NetID) netlist.PinID {
+	found := netlist.PinID(-1)
+	for _, pid := range nl.Net(n).Pins {
+		p := nl.Pin(pid)
+		if p.Dir != netlist.DirOutput {
+			continue
+		}
+		if found >= 0 {
+			return -1
+		}
+		found = pid
+	}
+	return found
+}

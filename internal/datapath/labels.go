@@ -1,0 +1,90 @@
+package datapath
+
+// Labels assigns each cell to a (group, bit) pair, or -1 for ungrouped.
+// They express both extractor output and generator ground truth, so the two
+// can be scored against each other.
+type Labels struct {
+	Group []int
+	Bit   []int
+}
+
+// NewLabels returns all-ungrouped labels for n cells.
+func NewLabels(n int) Labels {
+	l := Labels{Group: make([]int, n), Bit: make([]int, n)}
+	for i := range l.Group {
+		l.Group[i] = -1
+		l.Bit[i] = -1
+	}
+	return l
+}
+
+// Labels converts an extraction result to Labels.
+func (e *Extraction) Labels() Labels {
+	return Labels{Group: e.CellGroup, Bit: e.CellBit}
+}
+
+// sameSlice reports whether cells u and v belong to the same bit slice.
+func (l *Labels) sameSlice(u, v int) bool {
+	return l.Group[u] >= 0 && l.Group[u] == l.Group[v] && l.Bit[u] == l.Bit[v]
+}
+
+// Score holds pairwise precision/recall of the same-slice relation. The
+// relation is invariant to group numbering and bit permutation, so an
+// extraction that recovers the arrays with bits in a different order still
+// scores perfectly.
+type Score struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TruePairs int // ground-truth same-slice pairs
+	GotPairs  int // predicted same-slice pairs
+	Hits      int // predicted pairs that are true
+}
+
+// Compare scores predicted labels against ground truth on the pairwise
+// same-slice relation.
+func Compare(truth, got Labels) Score {
+	var s Score
+	s.TruePairs = countPairs(truth)
+	slices := collectSlices(got)
+	for _, cells := range slices {
+		for i := 0; i < len(cells); i++ {
+			for j := i + 1; j < len(cells); j++ {
+				s.GotPairs++
+				if truth.sameSlice(cells[i], cells[j]) {
+					s.Hits++
+				}
+			}
+		}
+	}
+	if s.GotPairs > 0 {
+		s.Precision = float64(s.Hits) / float64(s.GotPairs)
+	}
+	if s.TruePairs > 0 {
+		s.Recall = float64(s.Hits) / float64(s.TruePairs)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+func collectSlices(l Labels) map[[2]int][]int {
+	slices := make(map[[2]int][]int)
+	for c, g := range l.Group {
+		if g < 0 {
+			continue
+		}
+		key := [2]int{g, l.Bit[c]}
+		slices[key] = append(slices[key], c)
+	}
+	return slices
+}
+
+func countPairs(l Labels) int {
+	n := 0
+	for _, cells := range collectSlices(l) {
+		n += len(cells) * (len(cells) - 1) / 2
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package datapath
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// mergeGroups repeatedly fuses pairs of groups whose bits are consistently
+// connected: if most bits i of group A connect (through data nets) to the
+// same bit j = π(i) of group B for an injective π, the two arrays are parts
+// of one physical datapath and should share rows. B's columns are permuted
+// into A's bit order and appended.
+func mergeGroups(nl *netlist.Netlist, groups []Group, maxFanout int) []Group {
+	for {
+		merged := mergeOnce(nl, groups, maxFanout)
+		if merged == nil {
+			return groups
+		}
+		groups = merged
+	}
+}
+
+// mergeOnce performs the single best merge, or returns nil when none
+// qualifies.
+func mergeOnce(nl *netlist.Netlist, groups []Group, maxFanout int) []Group {
+	if len(groups) < 2 {
+		return nil
+	}
+	// Cell → (group, bit) lookup.
+	cellGroup := make(map[netlist.CellID][2]int)
+	for gi, g := range groups {
+		for _, col := range g.Columns {
+			for b, c := range col {
+				cellGroup[c] = [2]int{gi, b}
+			}
+		}
+	}
+
+	// Vote on bit correspondences through every data net.
+	type pairKey struct{ g1, g2 int }
+	votes := make(map[pairKey]map[[2]int]int)
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if net.Degree() < 2 || net.Degree() > maxFanout {
+			continue
+		}
+		// Collect grouped endpoints (dedup per cell).
+		type end struct {
+			g, b int
+		}
+		var ends []end
+		seen := map[netlist.CellID]bool{}
+		for _, pid := range net.Pins {
+			p := nl.Pin(pid)
+			if p.Cell == netlist.NoCell || seen[p.Cell] {
+				continue
+			}
+			seen[p.Cell] = true
+			if gb, ok := cellGroup[p.Cell]; ok {
+				ends = append(ends, end{gb[0], gb[1]})
+			}
+		}
+		for i := 0; i < len(ends); i++ {
+			for j := i + 1; j < len(ends); j++ {
+				a, b := ends[i], ends[j]
+				if a.g == b.g {
+					continue
+				}
+				if a.g > b.g {
+					a, b = b, a
+				}
+				key := pairKey{a.g, b.g}
+				if votes[key] == nil {
+					votes[key] = make(map[[2]int]int)
+				}
+				votes[key][[2]int{a.b, b.b}]++
+			}
+		}
+	}
+
+	// Rank candidate pairs by total votes.
+	type cand struct {
+		key   pairKey
+		total int
+	}
+	var cands []cand
+	for k, v := range votes {
+		if groups[k.g1].Bits() != groups[k.g2].Bits() {
+			continue
+		}
+		total := 0
+		for _, n := range v {
+			total += n
+		}
+		cands = append(cands, cand{k, total})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].total != cands[b].total {
+			return cands[a].total > cands[b].total
+		}
+		if cands[a].key.g1 != cands[b].key.g1 {
+			return cands[a].key.g1 < cands[b].key.g1
+		}
+		return cands[a].key.g2 < cands[b].key.g2
+	})
+
+	for _, c := range cands {
+		bits := groups[c.key.g1].Bits()
+		perm, ok := consistentMapping(votes[c.key], bits)
+		if !ok {
+			continue
+		}
+		// Merge g2 into g1 with B's rows permuted: new row i of B-columns is
+		// B's row perm[i].
+		g1 := groups[c.key.g1]
+		g2 := groups[c.key.g2]
+		for _, col := range g2.Columns {
+			newCol := make([]netlist.CellID, bits)
+			for i := 0; i < bits; i++ {
+				newCol[i] = col[perm[i]]
+			}
+			g1.Columns = append(g1.Columns, newCol)
+		}
+		out := make([]Group, 0, len(groups)-1)
+		for gi, g := range groups {
+			switch gi {
+			case c.key.g1:
+				out = append(out, g1)
+			case c.key.g2:
+				// dropped (merged)
+			default:
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// consistentMapping extracts an injective bit mapping π with π(i) = the
+// B-bit most voted for A-bit i. It succeeds when at least 3/4 of the bits
+// have an unambiguous, mutually consistent vote; unvoted bits must then be
+// completable injectively, which is only guaranteed when the voted part is
+// already a full permutation — so require full coverage or identity fill.
+func consistentMapping(v map[[2]int]int, bits int) ([]int, bool) {
+	best := make([]int, bits)
+	score := make([]int, bits)
+	for i := range best {
+		best[i] = -1
+	}
+	for key, n := range v {
+		i, j := key[0], key[1]
+		if i >= bits || j >= bits {
+			return nil, false
+		}
+		if n > score[i] {
+			score[i] = n
+			best[i] = j
+		}
+	}
+	// Count voted bits and check injectivity among them.
+	taken := make([]bool, bits)
+	voted := 0
+	for i := 0; i < bits; i++ {
+		if best[i] < 0 {
+			continue
+		}
+		if taken[best[i]] {
+			return nil, false
+		}
+		taken[best[i]] = true
+		voted++
+	}
+	if voted*4 < bits*3 {
+		return nil, false
+	}
+	// Fill unvoted bits with the remaining targets: prefer identity when
+	// free, otherwise first free slot (deterministic).
+	for i := 0; i < bits; i++ {
+		if best[i] >= 0 {
+			continue
+		}
+		if !taken[i] {
+			best[i] = i
+			taken[i] = true
+			continue
+		}
+		for j := 0; j < bits; j++ {
+			if !taken[j] {
+				best[i] = j
+				taken[j] = true
+				break
+			}
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,213 @@
+package datapath
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// buildRegBankNoNames builds a words×bits register bank (as the generator
+// does) with anonymous net names, the canonical fold/merge workload.
+func buildRegBankNoNames(t *testing.T, bits, words int) (*netlist.Netlist, Labels) {
+	t.Helper()
+	nl := netlist.New("rb")
+	truth := Labels{}
+	inDff := make([]netlist.CellID, bits)
+	for i := 0; i < bits; i++ {
+		inDff[i] = nl.MustAddCell(fmt.Sprintf("in%d", i), "DFF", 6, 10, false)
+	}
+	type wordCell struct{ mux, dff netlist.CellID }
+	wordCells := make([][]wordCell, words)
+	dinSinks := make([][]netlist.Endpoint, bits)
+	for w := 0; w < words; w++ {
+		we := nl.MustAddCell(fmt.Sprintf("we%d", w), "BUF", 2, 10, false)
+		var weSinks []netlist.Endpoint
+		wordCells[w] = make([]wordCell, bits)
+		for i := 0; i < bits; i++ {
+			m := nl.MustAddCell(fmt.Sprintf("m%d_%d", w, i), "MUX2", 4, 10, false)
+			d := nl.MustAddCell(fmt.Sprintf("d%d_%d", w, i), "DFF", 6, 10, false)
+			wordCells[w][i] = wordCell{m, d}
+			nl.MustAddNet(fmt.Sprintf("q%d_%d", w, i), 1,
+				netlist.Endpoint{Cell: d, Pin: "Q", Dir: netlist.DirOutput},
+				netlist.Endpoint{Cell: m, Pin: "A", Dir: netlist.DirInput},
+			)
+			nl.MustAddNet(fmt.Sprintf("md%d_%d", w, i), 1,
+				netlist.Endpoint{Cell: m, Pin: "Y", Dir: netlist.DirOutput},
+				netlist.Endpoint{Cell: d, Pin: "D", Dir: netlist.DirInput},
+			)
+			dinSinks[i] = append(dinSinks[i], netlist.Endpoint{Cell: m, Pin: "B", Dir: netlist.DirInput})
+			weSinks = append(weSinks, netlist.Endpoint{Cell: m, Pin: "S", Dir: netlist.DirInput})
+		}
+		nl.MustAddNet(fmt.Sprintf("wen%d", w), 1,
+			append([]netlist.Endpoint{{Cell: we, Pin: "Y", Dir: netlist.DirOutput}}, weSinks...)...)
+	}
+	for i := 0; i < bits; i++ {
+		nl.MustAddNet(fmt.Sprintf("din%d", i), 1,
+			append([]netlist.Endpoint{{Cell: inDff[i], Pin: "Q", Dir: netlist.DirOutput}}, dinSinks[i]...)...)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	truth = NewLabels(nl.NumCells())
+	for i := 0; i < bits; i++ {
+		truth.Group[inDff[i]] = 0
+		truth.Bit[inDff[i]] = i
+		for w := 0; w < words; w++ {
+			truth.Group[wordCells[w][i].mux] = 0
+			truth.Bit[wordCells[w][i].mux] = i
+			truth.Group[wordCells[w][i].dff] = 0
+			truth.Bit[wordCells[w][i].dff] = i
+		}
+	}
+	return nl, truth
+}
+
+// The fold phase is exercised end to end: the structural m-net bus folds all
+// words into one column; the fold must recover bits×(2·words) and regrow
+// must absorb the shared input column.
+func TestFoldRecoversRegisterBank(t *testing.T) {
+	nl, truth := buildRegBankNoNames(t, 8, 4)
+	opt := DefaultOptions()
+	opt.UseNames = false
+	ext := Extract(nl, opt)
+	score := Compare(truth, ext.Labels())
+	if score.Precision < 0.999 || score.Recall < 0.999 {
+		t.Fatalf("register bank not recovered: %+v (groups %v)", score, ext.Groups)
+	}
+	if len(ext.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(ext.Groups))
+	}
+	g := ext.Groups[0]
+	if g.Bits() != 8 || g.Stages() != 9 { // 4 words × (mux+dff) + input column
+		t.Errorf("shape = %d×%d, want 8×9", g.Bits(), g.Stages())
+	}
+}
+
+func TestBuildFoldHypothesis(t *testing.T) {
+	// 8 nets, each covering 4 rows: a clean 8-class fold of 32 rows.
+	byNet := map[netlist.NetID][]int{}
+	for i := 0; i < 8; i++ {
+		rows := []int{i, i + 8, i + 16, i + 24}
+		byNet[netlist.NetID(i)] = rows
+	}
+	h := buildFoldHypothesis(byNet, 32, 4)
+	if h == nil {
+		t.Fatal("clean fold rejected")
+	}
+	if h.k != 4 || len(h.classes) != 8 {
+		t.Errorf("fold = %d classes of %d", len(h.classes), h.k)
+	}
+	// Too little coverage: only 2 of 32 rows.
+	small := map[netlist.NetID][]int{0: {0, 1}}
+	if buildFoldHypothesis(small, 32, 4) != nil {
+		t.Error("sparse evidence accepted")
+	}
+	// Overlapping classes are pathological.
+	overlap := map[netlist.NetID][]int{}
+	for i := 0; i < 8; i++ {
+		overlap[netlist.NetID(i)] = []int{0, 1, 2, 3} // all the same rows
+	}
+	if buildFoldHypothesis(overlap, 8, 4) != nil {
+		t.Error("overlapping classes accepted")
+	}
+}
+
+func TestConsistentMapping(t *testing.T) {
+	// Identity votes on 4 bits.
+	v := map[[2]int]int{{0, 0}: 3, {1, 1}: 3, {2, 2}: 3, {3, 3}: 3}
+	perm, ok := consistentMapping(v, 4)
+	if !ok {
+		t.Fatal("identity mapping rejected")
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Errorf("perm[%d] = %d", i, p)
+		}
+	}
+	// Conflicting (non-injective) strongest votes.
+	v = map[[2]int]int{{0, 1}: 3, {1, 1}: 4, {2, 2}: 3, {3, 3}: 3}
+	if _, ok := consistentMapping(v, 4); ok {
+		t.Error("non-injective mapping accepted")
+	}
+	// Too few voted bits (1 of 4 < 3/4).
+	v = map[[2]int]int{{0, 0}: 5}
+	if _, ok := consistentMapping(v, 4); ok {
+		t.Error("under-voted mapping accepted")
+	}
+	// Out-of-range vote.
+	v = map[[2]int]int{{0, 9}: 5}
+	if _, ok := consistentMapping(v, 4); ok {
+		t.Error("out-of-range vote accepted")
+	}
+	// Partial votes filled injectively: 3 of 4 voted.
+	v = map[[2]int]int{{0, 1}: 2, {1, 0}: 2, {2, 2}: 2}
+	perm, ok = consistentMapping(v, 4)
+	if !ok {
+		t.Fatal("3/4-voted mapping rejected")
+	}
+	seen := map[int]bool{}
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatalf("perm not injective: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestMergeGroupsJoinsConnectedArrays(t *testing.T) {
+	// Two 4-bit chains connected bit-wise: merge must unify them.
+	nl := netlist.New("mg")
+	mk := func(prefix string, typ string) []netlist.CellID {
+		out := make([]netlist.CellID, 4)
+		for b := 0; b < 4; b++ {
+			out[b] = nl.MustAddCell(prefix+fmt.Sprint(b), typ, 4, 10, false)
+		}
+		return out
+	}
+	a0, a1 := mk("a0_", "DFF"), mk("a1_", "DFF")
+	b0, b1 := mk("b0_", "XOR2"), mk("b1_", "XOR2")
+	link := func(from, to []netlist.CellID, name string, outPin, inPin string) {
+		for b := 0; b < 4; b++ {
+			nl.MustAddNet(fmt.Sprintf("%s%d", name, b), 1,
+				netlist.Endpoint{Cell: from[b], Pin: outPin, Dir: netlist.DirOutput},
+				netlist.Endpoint{Cell: to[b], Pin: inPin, Dir: netlist.DirInput},
+			)
+		}
+	}
+	link(a0, a1, "la", "Q", "D")
+	link(a1, b0, "x", "Q", "A") // the cross-group connection
+	link(b0, b1, "lb", "Y", "A")
+	groups := []Group{
+		{Columns: [][]netlist.CellID{a0, a1}},
+		{Columns: [][]netlist.CellID{b0, b1}},
+	}
+	merged := mergeGroups(nl, groups, 12)
+	if len(merged) != 1 {
+		t.Fatalf("groups after merge = %d, want 1", len(merged))
+	}
+	if merged[0].Stages() != 4 || merged[0].Bits() != 4 {
+		t.Errorf("merged shape = %d×%d", merged[0].Bits(), merged[0].Stages())
+	}
+}
+
+func TestMergeGroupsKeepsUnrelated(t *testing.T) {
+	nl := netlist.New("mg2")
+	mk := func(prefix string) []netlist.CellID {
+		out := make([]netlist.CellID, 4)
+		for b := 0; b < 4; b++ {
+			out[b] = nl.MustAddCell(prefix+fmt.Sprint(b), "DFF", 4, 10, false)
+			nl.MustAddNet(prefix+"n"+fmt.Sprint(b), 1,
+				netlist.Endpoint{Cell: out[b], Pin: "Q", Dir: netlist.DirOutput})
+		}
+		return out
+	}
+	groups := []Group{
+		{Columns: [][]netlist.CellID{mk("a"), mk("b")}},
+		{Columns: [][]netlist.CellID{mk("c"), mk("d")}},
+	}
+	merged := mergeGroups(nl, groups, 12)
+	if len(merged) != 2 {
+		t.Fatalf("unconnected groups merged: %d", len(merged))
+	}
+}

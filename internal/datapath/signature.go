@@ -1,0 +1,131 @@
+// Package datapath implements the paper's first contribution: automatic
+// extraction of datapath regularity from a flat gate-level netlist. The
+// extractor recovers groups — arrays of bit slices — without user
+// annotations, by combining bus inference (name-based when names carry bus
+// indices, purely structural otherwise) with lock-step seed-and-grow
+// propagation of isomorphic bit slices.
+//
+// A Group is a set of columns; every column holds one cell per bit, all
+// structurally identical, and column k of every bit belongs to the same
+// logical pipeline stage. The structure-aware placer aligns each column
+// vertically and each bit horizontally.
+package datapath
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Sig is a structural signature; cells (or nets) with equal signatures are
+// considered interchangeable slice elements.
+type Sig uint64
+
+// sizeClass quantizes cell geometry: identical library cells always share
+// it, small numeric noise does not matter.
+func sizeClass(v float64) uint64 {
+	return uint64(math.Round(v * 16))
+}
+
+// CellSigs computes the structural signature of every cell: the library
+// type, the footprint, and the sorted pin (name, direction) list — i.e. the
+// master identity, independent of instance names AND of the surrounding
+// nets. Keeping the signature master-level is deliberate: boundary cells of
+// a slice (e.g. the input DFF column) connect to random-fanout nets, and a
+// neighborhood-sensitive signature would split those columns apart. The
+// discriminating power lives in the lock-step growth checks instead.
+func CellSigs(nl *netlist.Netlist) []Sig {
+	sigs := make([]Sig, nl.NumCells())
+	type pinKey struct {
+		name string
+		dir  netlist.Dir
+	}
+	var keys []pinKey
+	for ci := range nl.Cells {
+		cell := &nl.Cells[ci]
+		keys = keys[:0]
+		for _, pid := range cell.Pins {
+			pin := nl.Pin(pid)
+			keys = append(keys, pinKey{name: pin.Name, dir: pin.Dir})
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].name != keys[b].name {
+				return keys[a].name < keys[b].name
+			}
+			return keys[a].dir < keys[b].dir
+		})
+		h := fnv.New64a()
+		writeString(h, cell.Type)
+		writeU64(h, sizeClass(cell.W))
+		writeU64(h, sizeClass(cell.H))
+		writeU64(h, uint64(len(cell.Pins)))
+		for _, k := range keys {
+			writeString(h, k.name)
+			writeU64(h, uint64(k.dir))
+		}
+		sigs[ci] = Sig(h.Sum64())
+	}
+	return sigs
+}
+
+// NetSigs computes the structural signature of every net: its degree plus
+// the sorted multiset of (endpoint cell signature, pin name, direction).
+// Nets of the same bus — one per bit of a replicated slice — hash equal.
+func NetSigs(nl *netlist.Netlist, cellSigs []Sig) []Sig {
+	sigs := make([]Sig, nl.NumNets())
+	type endKey struct {
+		cellSig Sig
+		pin     string
+		dir     netlist.Dir
+	}
+	var keys []endKey
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		keys = keys[:0]
+		for _, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			var cs Sig
+			if pin.Cell != netlist.NoCell {
+				cs = cellSigs[pin.Cell]
+			}
+			keys = append(keys, endKey{cellSig: cs, pin: pin.Name, dir: pin.Dir})
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].cellSig != keys[b].cellSig {
+				return keys[a].cellSig < keys[b].cellSig
+			}
+			if keys[a].pin != keys[b].pin {
+				return keys[a].pin < keys[b].pin
+			}
+			return keys[a].dir < keys[b].dir
+		})
+		h := fnv.New64a()
+		writeU64(h, uint64(net.Degree()))
+		for _, k := range keys {
+			writeU64(h, uint64(k.cellSig))
+			writeString(h, k.pin)
+			writeU64(h, uint64(k.dir))
+		}
+		sigs[ni] = Sig(h.Sum64())
+	}
+	return sigs
+}
+
+type hash64 interface {
+	Write(p []byte) (int, error)
+}
+
+func writeString(h hash64, s string) {
+	h.Write([]byte(s))
+	h.Write([]byte{0})
+}
+
+func writeU64(h hash64, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}

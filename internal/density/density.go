@@ -1,0 +1,321 @@
+// Package density implements the bin-based cell-density machinery of
+// analytical global placement: an exact utilization map with the standard
+// overflow metric, and the NTUplace3-style smooth bell-shaped potential with
+// analytic gradients, used as the spreading penalty during optimization.
+package density
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Map holds per-bin area accumulations over a grid.
+type Map struct {
+	Grid geom.Grid
+	Bins []float64 // area (or potential) per bin, Grid.Index order
+}
+
+// NewMap returns a zeroed map over grid.
+func NewMap(grid geom.Grid) *Map {
+	return &Map{Grid: grid, Bins: make([]float64, grid.Bins())}
+}
+
+// Reset zeroes all bins.
+func (m *Map) Reset() {
+	for i := range m.Bins {
+		m.Bins[i] = 0
+	}
+}
+
+// AddRect distributes the area of r into the bins it overlaps, exactly.
+func (m *Map) AddRect(r geom.Rect) {
+	i0, i1, j0, j1 := m.Grid.Range(r)
+	for j := j0; j < j1; j++ {
+		for i := i0; i < i1; i++ {
+			ov := m.Grid.BinRect(i, j).Overlap(r)
+			if ov > 0 {
+				m.Bins[m.Grid.Index(i, j)] += ov
+			}
+		}
+	}
+}
+
+// Utilization builds the exact utilization map of a placement: per-bin
+// occupied area (movable + fixed) divided by bin area.
+func Utilization(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid) *Map {
+	m := NewMap(grid)
+	for i := range nl.Cells {
+		m.AddRect(pl.CellRect(nl, netlist.CellID(i)))
+	}
+	binArea := grid.BinW * grid.BinH
+	for i := range m.Bins {
+		m.Bins[i] /= binArea
+	}
+	return m
+}
+
+// Overflow returns the total-overflow ratio of a placement at the given
+// target utilization: Σ_b max(0, area_b − target·binArea) / Σ movable area.
+// This is the standard global-placement stopping metric (0 = fully spread).
+func Overflow(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, target float64) float64 {
+	m := NewMap(grid)
+	for i := range nl.Cells {
+		m.AddRect(pl.CellRect(nl, netlist.CellID(i)))
+	}
+	binArea := grid.BinW * grid.BinH
+	cap := target * binArea
+	over := 0.0
+	for _, a := range m.Bins {
+		if a > cap {
+			over += a - cap
+		}
+	}
+	mov := nl.MovableArea()
+	if mov <= 0 {
+		return 0
+	}
+	return over / mov
+}
+
+// MaxUtilization returns the maximum bin utilization of a placement.
+func MaxUtilization(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid) float64 {
+	u := Utilization(nl, pl, grid)
+	maxU := 0.0
+	for _, v := range u.Bins {
+		if v > maxU {
+			maxU = v
+		}
+	}
+	return maxU
+}
+
+// Potential is the smooth density model. Given cell centers it computes
+//
+//	N(x, y) = Σ_b (D_b − T_b)²
+//
+// where D_b spreads each cell's area over nearby bins with the bell-shaped
+// kernel of NTUplace3, and T_b is the per-bin target area (target
+// utilization × bin area, reduced by fixed-cell blockage). The gradient with
+// respect to each movable cell's center is computed analytically, treating
+// the per-cell normalization constant as locally fixed (the standard
+// approximation).
+type Potential struct {
+	nl     *netlist.Netlist
+	grid   geom.Grid
+	target []float64 // per-bin target area T_b
+	dens   []float64 // scratch: per-bin spread density D_b
+	diff   []float64 // scratch: D_b − T_b
+}
+
+// NewPotential prepares a potential for nl over grid with the given target
+// utilization. Fixed cells immediately reduce the targets of the bins they
+// block.
+func NewPotential(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, targetUtil float64) *Potential {
+	p := &Potential{
+		nl:     nl,
+		grid:   grid,
+		target: make([]float64, grid.Bins()),
+		dens:   make([]float64, grid.Bins()),
+		diff:   make([]float64, grid.Bins()),
+	}
+	binArea := grid.BinW * grid.BinH
+	for i := range p.target {
+		p.target[i] = targetUtil * binArea
+	}
+	// Fixed cells consume capacity exactly.
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed {
+			continue
+		}
+		r := pl.CellRect(nl, netlist.CellID(i))
+		i0, i1, j0, j1 := grid.Range(r)
+		for j := j0; j < j1; j++ {
+			for bi := i0; bi < i1; bi++ {
+				idx := grid.Index(bi, j)
+				p.target[idx] -= grid.BinRect(bi, j).Overlap(r)
+				if p.target[idx] < 0 {
+					p.target[idx] = 0
+				}
+			}
+		}
+	}
+	return p
+}
+
+// bell evaluates the one-dimensional bell kernel and its derivative for a
+// cell of size w whose center is at distance d (signed) from the bin center.
+// wb is the bin size along the axis.
+func bell(d, w, wb float64) (p, dp float64) {
+	ad := math.Abs(d)
+	r1 := w/2 + wb   // inner knee
+	r2 := w/2 + 2*wb // support radius
+	if ad >= r2 {
+		return 0, 0
+	}
+	a := 4 / ((w + 2*wb) * (w + 4*wb))
+	b := 2 / (wb * (w + 4*wb))
+	var sign float64 = 1
+	if d < 0 {
+		sign = -1
+	}
+	if ad <= r1 {
+		return 1 - a*ad*ad, -2 * a * ad * sign
+	}
+	t := ad - r2
+	return b * t * t, 2 * b * t * sign
+}
+
+// Eval computes N at the cell centers (cx, cy), parallel to nl.Cells, and
+// adds ∂N/∂cx into gx and ∂N/∂cy into gy when they are non-nil. Fixed cells
+// contribute nothing (their blockage already lowered the targets).
+func (p *Potential) Eval(cx, cy []float64, gx, gy []float64) float64 {
+	g := p.grid
+	for i := range p.dens {
+		p.dens[i] = 0
+	}
+	// First pass: accumulate spread density.
+	for ci := range p.nl.Cells {
+		cell := &p.nl.Cells[ci]
+		if cell.Fixed {
+			continue
+		}
+		p.splat(ci, cx[ci], cy[ci], cell.W, cell.H)
+	}
+	n := 0.0
+	for i := range p.dens {
+		d := p.dens[i] - p.target[i]
+		p.diff[i] = d
+		n += d * d
+	}
+	if gx == nil && gy == nil {
+		return n
+	}
+	// Second pass: chain rule through each cell's kernel footprint.
+	for ci := range p.nl.Cells {
+		cell := &p.nl.Cells[ci]
+		if cell.Fixed {
+			continue
+		}
+		w, h := effSize(cell.W, g.BinW), effSize(cell.H, g.BinH)
+		norm := p.cellNorm(cx[ci], cy[ci], w, h, cell.Area())
+		x0, y0 := cx[ci], cy[ci]
+		i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
+		var dx, dy float64
+		for j := j0; j < j1; j++ {
+			by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
+			py, dpy := bell(y0-by, h, g.BinH)
+			if py == 0 && dpy == 0 {
+				continue
+			}
+			for bi := i0; bi < i1; bi++ {
+				bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
+				px, dpx := bell(x0-bx, w, g.BinW)
+				if px == 0 && dpx == 0 {
+					continue
+				}
+				d := p.diff[g.Index(bi, j)]
+				dx += 2 * d * norm * dpx * py
+				dy += 2 * d * norm * px * dpy
+			}
+		}
+		if gx != nil {
+			gx[ci] += dx
+		}
+		if gy != nil {
+			gy[ci] += dy
+		}
+	}
+	return n
+}
+
+// effSize inflates very small cells to the bin size so their kernel support
+// is never empty (standard smoothing of tiny cells).
+func effSize(w, wb float64) float64 {
+	if w < wb {
+		return wb
+	}
+	return w
+}
+
+// footprint returns the bin index ranges covered by the kernel support of a
+// cell centered at (x0, y0), clamped into the grid.
+func (p *Potential) footprint(x0, y0, w, h float64) (i0, i1, j0, j1 int) {
+	g := p.grid
+	rx := w/2 + 2*g.BinW
+	ry := h/2 + 2*g.BinH
+	return g.Range(geom.NewRect(x0-rx, y0-ry, x0+rx, y0+ry))
+}
+
+// footprintRaw is footprint without grid clamping; indices may be negative
+// or beyond the grid. Normalization uses it so that the per-cell scale does
+// not jump when a cell's kernel is clipped by the region boundary — that
+// jump would make the frozen-normalization gradient badly wrong near edges.
+func (p *Potential) footprintRaw(x0, y0, w, h float64) (i0, i1, j0, j1 int) {
+	g := p.grid
+	rx := w/2 + 2*g.BinW
+	ry := h/2 + 2*g.BinH
+	i0 = int(math.Floor((x0 - rx - g.Region.Lo.X) / g.BinW))
+	i1 = int(math.Ceil((x0 + rx - g.Region.Lo.X) / g.BinW))
+	j0 = int(math.Floor((y0 - ry - g.Region.Lo.Y) / g.BinH))
+	j1 = int(math.Ceil((y0 + ry - g.Region.Lo.Y) / g.BinH))
+	return i0, i1, j0, j1
+}
+
+// cellNorm computes the per-cell scale making the kernel integrate to the
+// cell area over the unclipped (virtual) footprint.
+func (p *Potential) cellNorm(x0, y0, w, h, area float64) float64 {
+	g := p.grid
+	i0, i1, j0, j1 := p.footprintRaw(x0, y0, w, h)
+	sum := 0.0
+	for j := j0; j < j1; j++ {
+		by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
+		py, _ := bell(y0-by, h, g.BinH)
+		if py == 0 {
+			continue
+		}
+		for bi := i0; bi < i1; bi++ {
+			bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
+			px, _ := bell(x0-bx, w, g.BinW)
+			sum += px * py
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return area / sum
+}
+
+// splat adds one cell's bell-kernel contribution into p.dens.
+func (p *Potential) splat(ci int, x0, y0, cw, ch float64) {
+	g := p.grid
+	w, h := effSize(cw, g.BinW), effSize(ch, g.BinH)
+	area := cw * ch
+	norm := p.cellNorm(x0, y0, w, h, area)
+	if norm == 0 {
+		return
+	}
+	i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
+	for j := j0; j < j1; j++ {
+		by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
+		py, _ := bell(y0-by, h, g.BinH)
+		if py == 0 {
+			continue
+		}
+		for bi := i0; bi < i1; bi++ {
+			bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
+			px, _ := bell(x0-bx, w, g.BinW)
+			if px == 0 {
+				continue
+			}
+			p.dens[g.Index(bi, j)] += norm * px * py
+		}
+	}
+}
+
+// Grid returns the potential's bin grid.
+func (p *Potential) Grid() geom.Grid { return p.grid }
+
+// TargetArea returns the target area of bin idx (after blockage reduction).
+func (p *Potential) TargetArea(idx int) float64 { return p.target[idx] }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+var quick = RunOpts{Quick: true}
+
+func tinyConfigs() []gen.Config {
+	return []gen.Config{
+		{Name: "t1", Seed: 61, Bits: 8, Units: []gen.UnitKind{gen.Adder}, RandomCells: 150},
+		{Name: "t2", Seed: 62, Bits: 8, Units: []gen.UnitKind{gen.MuxTree}, RandomCells: 150},
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table X", "demo", "a note", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl := Table1(tinyConfigs())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "t1" {
+		t.Errorf("first design = %q", tbl.Rows[0][0])
+	}
+}
+
+func TestRunCaseAndTables23(t *testing.T) {
+	cases, err := RunSuite(tinyConfigs(), quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := Table2(cases)
+	if len(t2.Rows) != 3 { // 2 designs + geomean
+		t.Fatalf("table2 rows = %d", len(t2.Rows))
+	}
+	t3 := Table3(cases)
+	if len(t3.Rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(t3.Rows))
+	}
+	// Sanity of the headline metric: both HPWLs positive and the SA flow
+	// produced a legal placement.
+	for _, c := range cases {
+		if c.Base.HPWLFinal <= 0 || c.SA.HPWLFinal <= 0 {
+			t.Errorf("%s: non-positive HPWL", c.Cfg.Name)
+		}
+		if !c.SA.LegalityChecked || !c.Base.LegalityChecked {
+			t.Errorf("%s: missing legality check", c.Cfg.Name)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tbl := Table4(tinyConfigs())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Named-mode F1 on these clean designs should be high.
+	if f1 := tbl.Rows[0][3]; f1 < "0.8" {
+		t.Errorf("named F1 = %s", f1)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tbl, err := Table5(tinyConfigs()[:1], quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	tbl, err := Figure6(tinyConfigs()[0], quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no convergence rows")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	tbl, err := Figure7(tinyConfigs()[0], quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(4, 0.5) != 2 {
+		t.Error("pow broken")
+	}
+	if pow(-1, 0.5) != 0 {
+		t.Error("pow should guard non-positive")
+	}
+}
+
+func TestTable6SeedVariance(t *testing.T) {
+	tbl, err := Table6(tinyConfigs()[0], []int64{61, 62}, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // 2 seeds + mean row
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[2][1], "±") {
+		t.Errorf("no mean±sd row: %v", tbl.Rows[2])
+	}
+}
+
+func TestMeanSD(t *testing.T) {
+	if got := meanSD(nil); got != "n/a" {
+		t.Errorf("empty meanSD = %q", got)
+	}
+	if got := meanSD([]float64{2, 2, 2}); got != "2.000±0.000" {
+		t.Errorf("constant meanSD = %q", got)
+	}
+}

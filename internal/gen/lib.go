@@ -1,0 +1,147 @@
+// Package gen generates synthetic datapath-intensive benchmarks with ground
+// truth. It substitutes for the proprietary industrial benchmarks of the
+// original evaluation: each benchmark embeds bit-sliced datapath units
+// (adders, mux trees, shifters, register banks) in a sea of Rent-style
+// random logic, records exact slice labels for extraction scoring, and
+// emits the row structure and IO pads the placement flow needs.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// RowH is the uniform standard-cell row height used by generated designs.
+const RowH = 10.0
+
+// masterPin describes one pin of a library master.
+type masterPin struct {
+	name string
+	dir  netlist.Dir
+}
+
+// master is a library cell class.
+type master struct {
+	typ  string
+	w    float64
+	pins []masterPin
+}
+
+// The compact standard-cell library of generated designs. Pin offsets are
+// synthesized uniformly along the cell edges at netlist build time.
+var (
+	masterINV  = master{"INV", 2, []masterPin{{"A", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterBUF  = master{"BUF", 2, []masterPin{{"A", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterNAND = master{"NAND2", 3, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterNOR  = master{"NOR2", 3, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterAND  = master{"AND2", 3, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterOR   = master{"OR2", 3, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterXOR  = master{"XOR2", 4, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterMUX  = master{"MUX2", 4, []masterPin{{"A", netlist.DirInput}, {"B", netlist.DirInput}, {"S", netlist.DirInput}, {"Y", netlist.DirOutput}}}
+	masterDFF  = master{"DFF", 6, []masterPin{{"D", netlist.DirInput}, {"CK", netlist.DirInput}, {"Q", netlist.DirOutput}}}
+	masterPAD  = master{"PAD", 4, []masterPin{{"P", netlist.DirInout}}}
+)
+
+// randomMasters is the pool used for random-logic cells.
+var randomMasters = []master{
+	masterINV, masterBUF, masterNAND, masterNOR, masterAND, masterOR, masterXOR, masterMUX, masterDFF,
+}
+
+// pinOffset returns the synthesized offset of pin k of n pins on a master of
+// width w: inputs spaced along the left/bottom edge, outputs on the right.
+func pinOffset(m master, k int) (dx, dy float64) {
+	p := m.pins[k]
+	if p.dir == netlist.DirOutput {
+		return m.w, RowH / 2
+	}
+	// Inputs distributed along the left edge.
+	nIn := 0
+	idx := 0
+	for i, q := range m.pins {
+		if q.dir != netlist.DirOutput {
+			if i == k {
+				idx = nIn
+			}
+			nIn++
+		}
+	}
+	return 0, RowH * float64(idx+1) / float64(nIn+1)
+}
+
+// builder accumulates a benchmark under construction.
+type builder struct {
+	nl        *netlist.Netlist
+	truth     []sliceLabel
+	group     int // next ground-truth group id
+	cellCount int
+	netCount  int
+	scramble  bool
+}
+
+type sliceLabel struct {
+	group, bit int
+}
+
+func newBuilder(name string, scramble bool) *builder {
+	return &builder{nl: netlist.New(name), scramble: scramble}
+}
+
+// addCell instantiates a master; group/bit < 0 marks random logic.
+func (b *builder) addCell(m master, group, bit int) netlist.CellID {
+	name := fmt.Sprintf("u%d", b.cellCount)
+	b.cellCount++
+	id := b.nl.MustAddCell(name, m.typ, m.w, RowH, false)
+	b.truth = append(b.truth, sliceLabel{group, bit})
+	return id
+}
+
+// addPad instantiates a fixed IO pad.
+func (b *builder) addPad() netlist.CellID {
+	name := fmt.Sprintf("p%d", b.cellCount)
+	b.cellCount++
+	id := b.nl.MustAddCell(name, masterPAD.typ, masterPAD.w, masterPAD.w, true)
+	b.truth = append(b.truth, sliceLabel{-1, -1})
+	return id
+}
+
+// conn is one endpoint of a net under construction: cell + pin index into
+// its master's pin list.
+type conn struct {
+	cell netlist.CellID
+	m    master
+	pin  int
+}
+
+// net wires the given endpoints with a (possibly scrambled) name.
+func (b *builder) net(name string, weight float64, conns ...conn) netlist.NetID {
+	if b.scramble || name == "" {
+		name = fmt.Sprintf("n%d", b.netCount)
+	}
+	b.netCount++
+	ends := make([]netlist.Endpoint, 0, len(conns))
+	for _, c := range conns {
+		p := c.m.pins[c.pin]
+		dx, dy := pinOffset(c.m, c.pin)
+		ends = append(ends, netlist.Endpoint{
+			Cell: c.cell, Pin: p.name, Dir: p.dir, DX: dx, DY: dy,
+		})
+	}
+	return b.nl.MustAddNet(name, weight, ends...)
+}
+
+// pinIndex returns the index of the named pin in master m; it panics on
+// unknown names (generator bugs).
+func pinIndex(m master, name string) int {
+	for i, p := range m.pins {
+		if p.name == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("gen: master %s has no pin %q", m.typ, name))
+}
+
+// on is a convenience constructor for conn.
+func on(cell netlist.CellID, m master, pin string) conn {
+	return conn{cell: cell, m: m, pin: pinIndex(m, pin)}
+}

@@ -1,0 +1,77 @@
+// Package metrics assembles the quality report of a finished placement: the
+// wirelength, routability and utilization numbers the evaluation tables are
+// built from.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/route"
+)
+
+// Report is the standard per-placement quality summary.
+type Report struct {
+	HPWL       float64
+	SteinerWL  float64
+	MaxUtil    float64
+	Congestion route.CongestionStats
+	// Routed is the global-router view: wirelength with congestion-driven
+	// detours, plus residual overflow. It is the closest proxy to the
+	// routed-wirelength numbers placement papers report.
+	Routed route.GRouteResult
+}
+
+// Options tunes evaluation.
+type Options struct {
+	GridDim   int     // congestion/utilization grid (default 32)
+	WireWidth float64 // RUDY wire width (default 1)
+	Capacity  float64 // RUDY capacity per unit area (default derived: 0.15)
+	// RouteCapacityFactor scales the global router's edge capacities.
+	// The default 0.8 is calibrated so the baseline flow is marginally
+	// routable on the suite's mid-size designs (peak usage ≈ 1.2–1.5):
+	// routability comparisons need observable overflow, and this is the
+	// regime routability-driven placement papers evaluate in.
+	RouteCapacityFactor float64
+}
+
+// Evaluate computes the report for a placement.
+func Evaluate(nl *netlist.Netlist, pl *netlist.Placement, chip *geom.Core, opt Options) Report {
+	if opt.GridDim <= 0 {
+		opt.GridDim = 32
+	}
+	if opt.WireWidth <= 0 {
+		opt.WireWidth = 1
+	}
+	if opt.Capacity <= 0 {
+		// A fixed default keeps congestion comparable across placers on the
+		// same design; the absolute value only scales the numbers.
+		opt.Capacity = 0.15
+	}
+	grid := geom.NewGrid(chip.Region, opt.GridDim, opt.GridDim)
+	cm := route.RUDY(nl, pl, grid, route.RUDYOptions{
+		WireWidth: opt.WireWidth,
+		Capacity:  opt.Capacity,
+	})
+	if opt.RouteCapacityFactor <= 0 {
+		opt.RouteCapacityFactor = 0.8
+	}
+	gr := route.GlobalRoute(nl, pl, chip.Region, route.GRouteOptions{
+		NX: opt.GridDim, NY: opt.GridDim, WirePitch: opt.WireWidth,
+		CapacityFactor: opt.RouteCapacityFactor,
+	})
+	return Report{
+		HPWL:       pl.HPWL(nl),
+		SteinerWL:  route.SteinerWL(nl, pl),
+		MaxUtil:    density.MaxUtilization(nl, pl, grid),
+		Congestion: cm.Stats(),
+		Routed:     *gr,
+	}
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("HPWL=%.0f StWL=%.0f rWL=%.0f rOvfl=%.0f maxUtil=%.2f congACE5=%.2f",
+		r.HPWL, r.SteinerWL, r.Routed.WirelengthDB, r.Routed.Overflow, r.MaxUtil, r.Congestion.ACE5)
+}

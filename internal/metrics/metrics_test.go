@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+func TestEvaluateOnGeneratedDesign(t *testing.T) {
+	b := gen.Generate(gen.Config{
+		Name: "m", Seed: 5, Bits: 8,
+		Units: []gen.UnitKind{gen.Adder}, RandomCells: 150, Pads: 8,
+	})
+	rep := Evaluate(b.Netlist, b.Placement, b.Core, Options{})
+	if rep.HPWL <= 0 || math.IsNaN(rep.HPWL) {
+		t.Errorf("HPWL = %g", rep.HPWL)
+	}
+	// Steiner never below... HPWL counts per-net half-perimeters; Steiner
+	// is at least that per net, so totals preserve the inequality.
+	if rep.SteinerWL < rep.HPWL-1e-6 {
+		t.Errorf("StWL %g < HPWL %g", rep.SteinerWL, rep.HPWL)
+	}
+	// Routed wirelength includes bin quantization but must be same order.
+	if rep.Routed.WirelengthDB <= 0 {
+		t.Errorf("routed WL = %g", rep.Routed.WirelengthDB)
+	}
+	// All cells start stacked at the core center: utilization must peak
+	// far above 1.
+	if rep.MaxUtil < 1 {
+		t.Errorf("MaxUtil = %g for a stacked placement", rep.MaxUtil)
+	}
+	if rep.Congestion.Max <= 0 {
+		t.Error("no congestion measured")
+	}
+}
+
+func TestEvaluateRespectsOptions(t *testing.T) {
+	b := gen.Generate(gen.Config{
+		Name: "m2", Seed: 6, Bits: 8,
+		Units: nil, RandomCells: 80, Pads: 4,
+	})
+	loose := Evaluate(b.Netlist, b.Placement, b.Core, Options{RouteCapacityFactor: 4})
+	tight := Evaluate(b.Netlist, b.Placement, b.Core, Options{RouteCapacityFactor: 0.2})
+	if tight.Routed.Overflow < loose.Routed.Overflow {
+		t.Errorf("tighter capacity produced less overflow: %g vs %g",
+			tight.Routed.Overflow, loose.Routed.Overflow)
+	}
+	if loose.Routed.MaxUsage >= tight.Routed.MaxUsage {
+		t.Errorf("usage did not scale with capacity: %g vs %g",
+			loose.Routed.MaxUsage, tight.Routed.MaxUsage)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{HPWL: 123, SteinerWL: 456}
+	s := r.String()
+	for _, want := range []string{"HPWL=123", "StWL=456", "rWL=", "maxUtil="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestEvaluateEmptyDesign(t *testing.T) {
+	nl := netlist.New("empty")
+	nl.MustAddCell("only", "STD", 2, 10, false)
+	pl := netlist.NewPlacement(nl)
+	core := geom.NewCore(geom.NewRect(0, 0, 100, 100), 10, 1)
+	rep := Evaluate(nl, pl, core, Options{})
+	if rep.HPWL != 0 || rep.SteinerWL != 0 {
+		t.Errorf("netless design has wirelength: %+v", rep)
+	}
+}

@@ -1,0 +1,154 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomDesign builds a seeded random netlist + placement for the property
+// tests below.
+func randomDesign(seed int64) (*Netlist, *Placement) {
+	rng := rand.New(rand.NewSource(seed))
+	nl := New("prop")
+	n := 5 + rng.Intn(30)
+	for i := 0; i < n; i++ {
+		nl.MustAddCell(fmt.Sprintf("c%d", i), "STD", 1+rng.Float64()*5, 10, false)
+	}
+	nets := 3 + rng.Intn(20)
+	for k := 0; k < nets; k++ {
+		deg := 2 + rng.Intn(4)
+		ends := make([]Endpoint, 0, deg)
+		for j := 0; j < deg; j++ {
+			ends = append(ends, Endpoint{
+				Cell: CellID(rng.Intn(n)),
+				Pin:  fmt.Sprintf("p%d_%d", k, j),
+				Dir:  DirInput,
+				DX:   rng.Float64() * 2,
+				DY:   rng.Float64() * 10,
+			})
+		}
+		nl.MustAddNet(fmt.Sprintf("n%d", k), 0.5+rng.Float64(), ends...)
+	}
+	pl := NewPlacement(nl)
+	for i := 0; i < n; i++ {
+		pl.X[i] = rng.Float64() * 500
+		pl.Y[i] = rng.Float64() * 500
+	}
+	return nl, pl
+}
+
+// Property: HPWL is invariant under rigid translation of the placement.
+func TestHPWLTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dx, dy float64) bool {
+		if math.IsNaN(dx) || math.IsInf(dx, 0) || math.IsNaN(dy) || math.IsInf(dy, 0) {
+			return true
+		}
+		dx = math.Mod(dx, 1e5)
+		dy = math.Mod(dy, 1e5)
+		nl, pl := randomDesign(seed)
+		before := pl.HPWL(nl)
+		for i := range pl.X {
+			pl.X[i] += dx
+			pl.Y[i] += dy
+		}
+		after := pl.HPWL(nl)
+		return math.Abs(before-after) < 1e-6*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all coordinates and offsets by k scales HPWL by k.
+func TestHPWLScaleCovariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		k := 0.25 + rng.Float64()*8
+		nl, pl := randomDesign(seed)
+		before := pl.HPWL(nl)
+		for i := range pl.X {
+			pl.X[i] *= k
+			pl.Y[i] *= k
+		}
+		for i := range nl.Pins {
+			nl.Pins[i].DX *= k
+			nl.Pins[i].DY *= k
+		}
+		after := pl.HPWL(nl)
+		return math.Abs(after-k*before) < 1e-6*(1+k*before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total displacement is symmetric and zero iff identical.
+func TestDisplacementMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		nl, p := randomDesign(seed)
+		q := p.Clone()
+		if p.TotalDisplacement(nl, q) != 0 {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := range q.X {
+			q.X[i] += rng.NormFloat64()
+		}
+		d1 := p.TotalDisplacement(nl, q)
+		d2 := q.TotalDisplacement(nl, p)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0 && p.MaxDisplacement(nl, q) <= d1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NetBBox always contains every pin of the net.
+func TestNetBBoxContainsPins(t *testing.T) {
+	f := func(seed int64) bool {
+		nl, pl := randomDesign(seed)
+		for ni := range nl.Nets {
+			bb := pl.NetBBox(nl, NetID(ni))
+			for _, pid := range nl.Nets[ni].Pins {
+				p := pl.PinPos(nl, pid)
+				if p.X < bb.Lo.X-1e-9 || p.X > bb.Hi.X+1e-9 ||
+					p.Y < bb.Lo.Y-1e-9 || p.Y > bb.Hi.Y+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClampInto is idempotent and always lands inside the region.
+func TestClampIntoIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		nl, pl := randomDesign(seed)
+		region := geom.NewRect(0, 0, 120, 120)
+		pl.ClampInto(nl, region)
+		snapshot := pl.Clone()
+		pl.ClampInto(nl, region)
+		for i := range pl.X {
+			if pl.X[i] != snapshot.X[i] || pl.Y[i] != snapshot.Y[i] {
+				return false
+			}
+			r := pl.CellRect(nl, CellID(i))
+			if !region.ContainsRect(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package opt implements the unconstrained nonlinear optimizer driving
+// analytical global placement: Polak–Ribière+ conjugate gradients with a
+// Barzilai–Borwein initial step and Armijo backtracking line search. The
+// objective is supplied as a closure so the placer can fold wirelength,
+// density and alignment terms together.
+package opt
+
+import (
+	"math"
+)
+
+// Func evaluates an objective at x, fills grad (same length as x) with its
+// gradient, and returns the objective value.
+type Func func(x, grad []float64) float64
+
+// Options controls Minimize.
+type Options struct {
+	MaxIter  int     // hard iteration cap; 0 means 100
+	GradTol  float64 // stop when ||g||/sqrt(n) < GradTol; 0 means 1e-4
+	StepInit float64 // first trial step; 0 means 1
+	// Callback, when non-nil, runs after every accepted iterate; returning
+	// false stops the optimization early (used for λ-schedule hand-off).
+	Callback func(iter int, f, gradNorm float64) bool
+}
+
+// Result reports the optimizer outcome.
+type Result struct {
+	F         float64 // final objective value
+	Iters     int     // accepted iterations
+	GradNorm  float64 // final RMS gradient norm
+	Converged bool    // gradient tolerance reached
+	FuncEvals int     // objective evaluations including line search
+}
+
+// Minimize runs PR+ nonlinear CG from x, overwriting x with the best iterate
+// found.
+func Minimize(f Func, x []float64, opt Options) Result {
+	n := len(x)
+	if n == 0 {
+		return Result{Converged: true}
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	if opt.GradTol <= 0 {
+		opt.GradTol = 1e-4
+	}
+	if opt.StepInit <= 0 {
+		opt.StepInit = 1
+	}
+
+	g := make([]float64, n)     // current gradient
+	gPrev := make([]float64, n) // previous gradient
+	d := make([]float64, n)     // search direction
+	xTrial := make([]float64, n)
+	gTrial := make([]float64, n)
+
+	res := Result{}
+	fx := f(x, g)
+	res.FuncEvals++
+	for i := range d {
+		d[i] = -g[i]
+	}
+	gg := dot(g, g)
+	step := opt.StepInit
+
+	sqrtN := math.Sqrt(float64(n))
+	for it := 0; it < opt.MaxIter; it++ {
+		gnorm := math.Sqrt(gg) / sqrtN
+		res.GradNorm = gnorm
+		if gnorm < opt.GradTol {
+			res.Converged = true
+			break
+		}
+
+		// Armijo backtracking along d from the adaptive initial step.
+		dg := dot(d, g)
+		if dg >= 0 {
+			// Not a descent direction (CG drift): restart with steepest descent.
+			for i := range d {
+				d[i] = -g[i]
+			}
+			dg = -gg
+		}
+		const c1 = 1e-4
+		alpha := step
+		var fNew float64
+		accepted := false
+		for ls := 0; ls < 30; ls++ {
+			for i := range xTrial {
+				xTrial[i] = x[i] + alpha*d[i]
+			}
+			fNew = f(xTrial, gTrial)
+			res.FuncEvals++
+			if fNew <= fx+c1*alpha*dg && !math.IsNaN(fNew) {
+				accepted = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !accepted {
+			// Line search failed: the gradient is either tiny or the model is
+			// pathological at this scale. Stop with the current iterate.
+			break
+		}
+
+		copy(gPrev, g)
+		copy(g, gTrial)
+		copy(x, xTrial)
+		fx = fNew
+		res.Iters++
+
+		ggNew := dot(g, g)
+		// Polak–Ribière+ with automatic restart.
+		gy := ggNew - dot(g, gPrev)
+		beta := gy / gg
+		if beta < 0 || it%(n+1) == n {
+			beta = 0
+		}
+		for i := range d {
+			d[i] = -g[i] + beta*d[i]
+		}
+		gg = ggNew
+
+		// Barzilai–Borwein-style initial step for the next iteration:
+		// grow on easy acceptance, inherit the backtracked scale otherwise.
+		if alpha == step {
+			step = alpha * 2
+		} else {
+			step = alpha * 1.25
+		}
+
+		if opt.Callback != nil && !opt.Callback(res.Iters, fx, math.Sqrt(gg)/sqrtN) {
+			break
+		}
+	}
+	res.F = fx
+	res.GradNorm = math.Sqrt(gg) / sqrtN
+	return res
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package detail
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/place/global"
+)
+
+// ImproveColumns optimizes the stage order inside aligned datapath groups:
+// any two equal-width columns of a group may swap x positions (all cells of
+// a column move together, so bit alignment and legality are preserved
+// exactly). Global placement orders columns by their pre-snap means, which
+// is frequently off by a stage or two; this repairs it. Returns the number
+// of accepted swaps.
+func ImproveColumns(nl *netlist.Netlist, pl *netlist.Placement, groups []global.AlignGroup, passes int) int {
+	if passes <= 0 {
+		passes = 2
+	}
+	d := &improver{nl: nl, pl: pl}
+	d.buildAdjacency()
+
+	total := 0
+	for pass := 0; pass < passes; pass++ {
+		moves := 0
+		for _, g := range groups {
+			moves += d.columnSwapPass(g)
+		}
+		total += moves
+		if moves == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// isAligned reports whether the group actually survived legalization as an
+// aligned array: all cells of each column share one x. Dissolved fallback
+// groups fail this and must not be column-swapped (their cells sit at
+// arbitrary positions).
+func isAligned(pl *netlist.Placement, g global.AlignGroup) bool {
+	for _, col := range g.Cols {
+		for _, c := range col[1:] {
+			if pl.X[c] != pl.X[col[0]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// columnSwapPass tries every equal-width column pair of one group.
+func (d *improver) columnSwapPass(g global.AlignGroup) int {
+	nl, pl := d.nl, d.pl
+	if !isAligned(pl, g) {
+		return 0
+	}
+	type colState struct {
+		cells []netlist.CellID
+		x     float64
+		w     float64
+	}
+	cols := make([]colState, 0, len(g.Cols))
+	for _, col := range g.Cols {
+		if len(col) == 0 {
+			continue
+		}
+		cs := colState{cells: col, x: pl.X[col[0]], w: nl.Cell(col[0]).W}
+		cols = append(cols, cs)
+	}
+	// Deterministic order by x.
+	sort.SliceStable(cols, func(a, b int) bool { return cols[a].x < cols[b].x })
+
+	moves := 0
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if cols[i].w != cols[j].w {
+				continue
+			}
+			affected := d.netsOf(append(append([]netlist.CellID{}, cols[i].cells...), cols[j].cells...))
+			before := d.wlOf(affected)
+			setColumnX(pl, cols[i].cells, cols[j].x)
+			setColumnX(pl, cols[j].cells, cols[i].x)
+			if d.wlOf(affected) < before-1e-9 {
+				cols[i].x, cols[j].x = cols[j].x, cols[i].x
+				moves++
+				continue
+			}
+			// Revert.
+			setColumnX(pl, cols[i].cells, cols[i].x)
+			setColumnX(pl, cols[j].cells, cols[j].x)
+		}
+	}
+	return moves
+}
+
+func setColumnX(pl *netlist.Placement, cells []netlist.CellID, x float64) {
+	for _, c := range cells {
+		pl.X[c] = x
+	}
+}
+
+// LockedFromGroups builds the detail-placement lock mask for group cells.
+func LockedFromGroups(n int, groups []global.AlignGroup) []bool {
+	locked := make([]bool, n)
+	for _, g := range groups {
+		for _, col := range g.Cols {
+			for _, c := range col {
+				if int(c) < n {
+					locked[c] = true
+				}
+			}
+		}
+	}
+	return locked
+}

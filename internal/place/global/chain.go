@@ -1,0 +1,131 @@
+package global
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// chainOrder computes a 1-D ordering of a group's columns that follows the
+// datapath's stage connectivity: start from a chain end (the column with the
+// weakest total coupling) and repeatedly append the unplaced column most
+// strongly connected to the one just placed. Columns cannot tunnel through
+// each other during continuous optimization — the density term is a
+// barrier — so their *initial* left-to-right order largely decides the final
+// stage order, and a connectivity-consistent initial order is the difference
+// between stage buses of one column pitch and stage buses spanning the core.
+func chainOrder(nl *netlist.Netlist, g AlignGroup, maxFanout int) []int {
+	n := len(g.Cols)
+	if n <= 2 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	// Map cells to their column.
+	colOf := make(map[netlist.CellID]int, n*len(g.Cols[0]))
+	for ci, col := range g.Cols {
+		for _, c := range col {
+			colOf[c] = ci
+		}
+	}
+	// Column-pair coupling: number of nets joining them.
+	w := make([]map[int]float64, n)
+	for i := range w {
+		w[i] = make(map[int]float64)
+	}
+	seenNet := make(map[netlist.NetID]bool)
+	for ci, col := range g.Cols {
+		_ = ci
+		for _, c := range col {
+			for _, pid := range nl.Cell(c).Pins {
+				ni := nl.Pin(pid).Net
+				if seenNet[ni] {
+					continue
+				}
+				seenNet[ni] = true
+				net := nl.Net(ni)
+				if net.Degree() > maxFanout {
+					continue
+				}
+				var touched []int
+				seenCol := map[int]bool{}
+				for _, pid2 := range net.Pins {
+					cell := nl.Pin(pid2).Cell
+					if cell == netlist.NoCell {
+						continue
+					}
+					if tc, ok := colOf[cell]; ok && !seenCol[tc] {
+						seenCol[tc] = true
+						touched = append(touched, tc)
+					}
+				}
+				for a := 0; a < len(touched); a++ {
+					for b := a + 1; b < len(touched); b++ {
+						w[touched[a]][touched[b]]++
+						w[touched[b]][touched[a]]++
+					}
+				}
+			}
+		}
+	}
+
+	// Start from the weakest-coupled column (a chain end).
+	totals := make([]float64, n)
+	for i := range w {
+		for _, v := range w[i] {
+			totals[i] += v
+		}
+	}
+	start := 0
+	for i := 1; i < n; i++ {
+		if totals[i] < totals[start] {
+			start = i
+		}
+	}
+
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	order = append(order, start)
+	used[start] = true
+	for len(order) < n {
+		last := order[len(order)-1]
+		best, bestW := -1, -1.0
+		for c, v := range w[last] {
+			if !used[c] && v > bestW {
+				best, bestW = c, v
+			}
+		}
+		if best < 0 {
+			// Disconnected from the tail: attach the unused column with the
+			// strongest coupling to ANY placed column (deterministic tie
+			// break by index).
+			type cand struct {
+				col int
+				w   float64
+			}
+			var cands []cand
+			for c := 0; c < n; c++ {
+				if used[c] {
+					continue
+				}
+				cw := 0.0
+				for _, p := range order {
+					cw += w[c][p]
+				}
+				cands = append(cands, cand{c, cw})
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].w != cands[b].w {
+					return cands[a].w > cands[b].w
+				}
+				return cands[a].col < cands[b].col
+			})
+			best = cands[0].col
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}

@@ -1,0 +1,141 @@
+package global
+
+import (
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/sparse"
+)
+
+// InitQuadratic computes the wirelength-driven initial placement: the
+// minimizer of a clique-model quadratic wirelength with fixed pins as
+// anchors, solved per axis by Jacobi-preconditioned conjugate gradients. A
+// weak anchor to the core center regularizes cells with no fixed path.
+// Results are written into pl (movable cells only, clamped into the core).
+func InitQuadratic(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core) {
+	// Movable-cell index map.
+	movIdx := make([]int, nl.NumCells())
+	var movables []netlist.CellID
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed {
+			movIdx[i] = -1
+			continue
+		}
+		movIdx[i] = len(movables)
+		movables = append(movables, netlist.CellID(i))
+	}
+	n := len(movables)
+	if n == 0 {
+		return
+	}
+
+	const (
+		cliqueCap  = 10   // largest net modeled as a clique
+		centerPull = 1e-4 // regularization spring to the core center
+	)
+	center := core.Region.Center()
+
+	// Assemble both axes in one pass (the matrix is shared; only the rhs
+	// differs through fixed-pin positions and pin offsets).
+	bld := sparse.NewBuilder(n)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+
+	addSpring := func(pa, pb netlist.PinID, w float64) {
+		a := nl.Pin(pa)
+		b := nl.Pin(pb)
+		// Spring between pin positions: pin = cell + offset (or fixed pos).
+		aMov := a.Cell != netlist.NoCell && movIdx[a.Cell] >= 0
+		bMov := b.Cell != netlist.NoCell && movIdx[b.Cell] >= 0
+		ax, ay := pinAnchor(nl, pl, pa)
+		bxp, byp := pinAnchor(nl, pl, pb)
+		switch {
+		case aMov && bMov:
+			i, j := movIdx[a.Cell], movIdx[b.Cell]
+			bld.AddSym(i, j, w)
+			// Offsets shift the equilibrium: w(xi+da − xj−db)² contributes
+			// w(da−db) terms to the rhs.
+			d := a.DX - b.DX
+			bx[i] -= w * d
+			bx[j] += w * d
+			dy := a.DY - b.DY
+			by[i] -= w * dy
+			by[j] += w * dy
+		case aMov:
+			i := movIdx[a.Cell]
+			bld.AddDiag(i, w)
+			bx[i] += w * (bxp - a.DX)
+			by[i] += w * (byp - a.DY)
+		case bMov:
+			j := movIdx[b.Cell]
+			bld.AddDiag(j, w)
+			bx[j] += w * (ax - b.DX)
+			by[j] += w * (ay - b.DY)
+		}
+	}
+
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		p := net.Degree()
+		if p < 2 {
+			continue
+		}
+		if p <= cliqueCap {
+			w := net.Weight / float64(p-1)
+			for i := 0; i < p; i++ {
+				for j := i + 1; j < p; j++ {
+					addSpring(net.Pins[i], net.Pins[j], w)
+				}
+			}
+		} else {
+			// Large nets: star to the driver (or first pin) avoids the
+			// quadratic clique blow-up on clocks and resets.
+			hub := nl.Driver(netlist.NetID(ni))
+			if hub < 0 {
+				hub = net.Pins[0]
+			}
+			w := net.Weight / float64(p-1)
+			for _, pid := range net.Pins {
+				if pid != hub {
+					addSpring(hub, pid, w)
+				}
+			}
+		}
+	}
+	for i := range movables {
+		bld.AddDiag(i, centerPull)
+		bx[i] += centerPull * center.X
+		by[i] += centerPull * center.Y
+	}
+
+	m := bld.Build()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, c := range movables {
+		xs[i] = pl.X[c]
+		ys[i] = pl.Y[c]
+	}
+	// Best-effort: CG may not fully converge on ill-conditioned designs;
+	// the iterate is still a usable start for the nonlinear stage.
+	_, _ = sparse.SolveCG(m, xs, bx, sparse.CGOptions{MaxIter: 600, Tol: 1e-5})
+	_, _ = sparse.SolveCG(m, ys, by, sparse.CGOptions{MaxIter: 600, Tol: 1e-5})
+
+	for i, c := range movables {
+		pl.X[c] = xs[i]
+		pl.Y[c] = ys[i]
+	}
+	pl.ClampInto(nl, core.Region)
+}
+
+// pinAnchor returns the absolute position of a pin when its cell is fixed
+// (or it is a top-level terminal); for movable cells it returns zeros (the
+// caller uses offsets instead).
+func pinAnchor(nl *netlist.Netlist, pl *netlist.Placement, pid netlist.PinID) (float64, float64) {
+	p := nl.Pin(pid)
+	if p.Cell == netlist.NoCell {
+		return p.DX, p.DY
+	}
+	if nl.Cell(p.Cell).Fixed {
+		return pl.X[p.Cell] + p.DX, pl.Y[p.Cell] + p.DY
+	}
+	return 0, 0
+}

@@ -1,0 +1,635 @@
+package global
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/opt"
+	"repro/internal/wirelength"
+)
+
+// AlignMode selects how extracted groups constrain the optimization.
+type AlignMode int
+
+// Alignment modes.
+const (
+	// AlignHard substitutes variables: every cell of a column shares one x
+	// variable and every group shares one base-y variable (bit offsets are
+	// fixed at the row pitch). Alignment is exact by construction and the
+	// optimizer spends all of its effort on wirelength and density. This is
+	// the default.
+	AlignHard AlignMode = iota
+	// AlignSoft keeps per-cell variables and adds the quadratic alignment
+	// energy with an annealed weight α — the formulation the α-sweep
+	// ablation studies.
+	AlignSoft
+)
+
+// Options controls global placement.
+type Options struct {
+	// WLModel selects the smooth wirelength model: "wa" (default) or "lse".
+	WLModel string
+	// TargetDensity is the per-bin utilization target (default 0.9).
+	TargetDensity float64
+	// GridDim forces the density grid to GridDim×GridDim bins; 0 derives it
+	// from the design size.
+	GridDim int
+	// OverflowTarget stops the outer loop once total overflow drops below
+	// it (default 0.10).
+	OverflowTarget float64
+	// MaxOuterIters bounds the λ-schedule length (default 24).
+	MaxOuterIters int
+	// InnerIters bounds the conjugate-gradient iterations per λ stage
+	// (default 50).
+	InnerIters int
+	// Groups, when non-empty, turns on structure-aware mode.
+	Groups []AlignGroup
+	// AlignMode selects hard (default) or soft alignment.
+	AlignMode AlignMode
+	// AlignWeight scales the soft-alignment term relative to its
+	// auto-derived base weight (default 1.0). Ignored in hard mode.
+	AlignWeight float64
+	// SkipQuadraticInit keeps the caller-provided start instead of running
+	// the bound-to-bound solve.
+	SkipQuadraticInit bool
+	// Trace, when non-nil, observes every outer iteration.
+	Trace func(TracePoint)
+}
+
+// TracePoint is one outer-iteration snapshot for convergence figures.
+type TracePoint struct {
+	Outer     int
+	HPWL      float64
+	Overflow  float64
+	AlignRMS  float64
+	Objective float64
+	Lambda    float64
+	Alpha     float64
+}
+
+// Result reports the global placement outcome.
+type Result struct {
+	HPWL       float64
+	Overflow   float64
+	AlignRMS   float64
+	OuterIters int
+	FuncEvals  int
+}
+
+func (o *Options) fillDefaults() {
+	if o.WLModel == "" {
+		o.WLModel = "wa"
+	}
+	if o.TargetDensity <= 0 {
+		o.TargetDensity = 0.9
+	}
+	if o.OverflowTarget <= 0 {
+		o.OverflowTarget = 0.10
+	}
+	if o.MaxOuterIters <= 0 {
+		o.MaxOuterIters = 24
+	}
+	if o.InnerIters <= 0 {
+		o.InnerIters = 50
+	}
+	if o.AlignWeight == 0 {
+		o.AlignWeight = 1
+	}
+}
+
+// Place runs analytical global placement, updating pl in place (movable
+// cells only). The returned placement is spread but not legalized; in hard
+// alignment mode the extracted groups come out exactly bit-aligned.
+func Place(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) (Result, error) {
+	o.fillDefaults()
+	var model wirelength.Model
+	switch o.WLModel {
+	case "wa":
+		model = wirelength.NewWA(1)
+	case "lse":
+		model = wirelength.NewLSE(1)
+	default:
+		return Result{}, fmt.Errorf("global: unknown wirelength model %q", o.WLModel)
+	}
+
+	if !o.SkipQuadraticInit {
+		InitQuadratic(nl, pl, core)
+	}
+
+	e := newEngine(nl, pl, core, model, o)
+	if e.nVars == 0 {
+		return Result{HPWL: pl.HPWL(nl)}, nil
+	}
+	return e.run()
+}
+
+// engine carries the optimization state. The variable vector v packs the x
+// variables first, then the y variables. In hard alignment mode several
+// cells map to one variable (column x, group base y).
+type engine struct {
+	nl    *netlist.Netlist
+	pl    *netlist.Placement
+	core  *geom.Core
+	o     Options
+	model wirelength.Model
+	grid  geom.Grid
+	pot   *density.Potential
+
+	// Per-cell variable mapping: index into the x/y variable arrays, or -1
+	// for fixed cells. yOff is added to the y variable's value.
+	xVar, yVar []int
+	yOff       []float64
+	nx, ny     int
+	nVars      int
+
+	// Per-x-variable clamp bounds (account for cell width / group height).
+	xLo, xHi []float64
+	yLo, yHi []float64
+
+	// Hard-mode group bookkeeping: per group, the x-var of each column and
+	// each column's width (for chain-ordered initialization).
+	groupColVars [][]int
+	groupColW    [][]float64
+
+	// Full per-cell scratch arrays.
+	xFull, yFull   []float64
+	cxFull, cyFull []float64
+	gxFull, gyFull []float64
+
+	// Per-net gather buffers.
+	pinX, pinY, pinGX, pinGY []float64
+
+	// Term-gradient scratch.
+	sgx, sgy []float64
+
+	hard          bool
+	lambda, alpha float64
+	funcEvals     int
+}
+
+func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, model wirelength.Model, o Options) *engine {
+	e := &engine{nl: nl, pl: pl, core: core, o: o, model: model}
+	e.hard = o.AlignMode == AlignHard && len(o.Groups) > 0
+
+	nc := nl.NumCells()
+	e.xVar = make([]int, nc)
+	e.yVar = make([]int, nc)
+	e.yOff = make([]float64, nc)
+	for i := range e.xVar {
+		e.xVar[i] = -1
+		e.yVar[i] = -1
+	}
+
+	pitch := core.RowH()
+	if e.hard {
+		for _, g := range o.Groups {
+			if len(g.Cols) == 0 || len(g.Cols[0]) == 0 {
+				continue
+			}
+			bits := len(g.Cols[0])
+			gy := e.ny
+			e.ny++
+			e.yLo = append(e.yLo, core.Region.Lo.Y)
+			groupH := float64(bits-1)*pitch + rowHOf(nl, g)
+			e.yHi = append(e.yHi, core.Region.Hi.Y-groupH)
+			var colVars []int
+			var colWs []float64
+			for _, col := range g.Cols {
+				gx := e.nx
+				e.nx++
+				maxW := 0.0
+				for b, c := range col {
+					if nl.Cell(c).Fixed {
+						continue
+					}
+					e.xVar[c] = gx
+					e.yVar[c] = gy
+					e.yOff[c] = float64(b) * pitch
+					if w := nl.Cell(c).W; w > maxW {
+						maxW = w
+					}
+				}
+				e.xLo = append(e.xLo, core.Region.Lo.X)
+				e.xHi = append(e.xHi, core.Region.Hi.X-maxW)
+				colVars = append(colVars, gx)
+				colWs = append(colWs, maxW)
+			}
+			e.groupColVars = append(e.groupColVars, colVars)
+			e.groupColW = append(e.groupColW, colWs)
+		}
+	}
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed || e.xVar[i] >= 0 {
+			continue
+		}
+		e.xVar[i] = e.nx
+		e.nx++
+		e.xLo = append(e.xLo, core.Region.Lo.X)
+		e.xHi = append(e.xHi, core.Region.Hi.X-nl.Cells[i].W)
+		e.yVar[i] = e.ny
+		e.ny++
+		e.yLo = append(e.yLo, core.Region.Lo.Y)
+		e.yHi = append(e.yHi, core.Region.Hi.Y-nl.Cells[i].H)
+	}
+	e.nVars = e.nx + e.ny
+
+	dim := o.GridDim
+	if dim <= 0 {
+		dim = int(math.Sqrt(float64(nl.NumMovable())/3)) + 8
+		if dim < 16 {
+			dim = 16
+		}
+		if dim > 128 {
+			dim = 128
+		}
+	}
+	e.grid = geom.NewGrid(core.Region, dim, dim)
+	e.pot = density.NewPotential(nl, pl, e.grid, o.TargetDensity)
+
+	e.xFull = make([]float64, nc)
+	e.yFull = make([]float64, nc)
+	e.cxFull = make([]float64, nc)
+	e.cyFull = make([]float64, nc)
+	e.gxFull = make([]float64, nc)
+	e.gyFull = make([]float64, nc)
+	e.sgx = make([]float64, nc)
+	e.sgy = make([]float64, nc)
+	for i := range nl.Cells {
+		e.xFull[i] = pl.X[i]
+		e.yFull[i] = pl.Y[i]
+	}
+	return e
+}
+
+// rowHOf returns the cell height of a group (uniform in row-based designs).
+func rowHOf(nl *netlist.Netlist, g AlignGroup) float64 {
+	return nl.Cell(g.Cols[0][0]).H
+}
+
+// initVars seeds the variable vector from the current placement: shared
+// variables start at the mean of their members.
+func (e *engine) initVars(v []float64) {
+	cnt := make([]float64, e.nVars)
+	for i := range v {
+		v[i] = 0
+	}
+	for c := range e.nl.Cells {
+		if e.xVar[c] < 0 {
+			continue
+		}
+		v[e.xVar[c]] += e.pl.X[c]
+		cnt[e.xVar[c]]++
+		v[e.nx+e.yVar[c]] += e.pl.Y[c] - e.yOff[c]
+		cnt[e.nx+e.yVar[c]]++
+	}
+	for i := range v {
+		if cnt[i] > 0 {
+			v[i] /= cnt[i]
+		}
+	}
+	// Hard mode: the quadratic start puts all of a group's columns at
+	// nearly the same x, and columns cannot tunnel through each other later
+	// (density is a barrier), so their initial left-to-right order persists
+	// into the final stage order. Spread each group's columns in chain-
+	// connectivity order around the group's mean.
+	gi := 0
+	for _, g := range e.o.Groups {
+		if len(g.Cols) == 0 || len(g.Cols[0]) == 0 || !e.hard {
+			continue
+		}
+		colVars := e.groupColVars[gi]
+		colWs := e.groupColW[gi]
+		gi++
+		order := chainOrder(e.nl, g, 16)
+		total := 0.0
+		mean := 0.0
+		for k, cv := range colVars {
+			total += colWs[k]
+			mean += v[cv]
+		}
+		mean /= float64(len(colVars))
+		x := mean - total/2
+		if x < e.core.Region.Lo.X {
+			x = e.core.Region.Lo.X
+		}
+		for _, k := range order {
+			v[colVars[k]] = x
+			x += colWs[k]
+		}
+	}
+	e.clampVars(v)
+}
+
+// unpack refreshes the full coordinate arrays from the variable vector.
+func (e *engine) unpack(v []float64) {
+	for c := range e.nl.Cells {
+		if e.xVar[c] < 0 {
+			continue
+		}
+		e.xFull[c] = v[e.xVar[c]]
+		e.yFull[c] = v[e.nx+e.yVar[c]] + e.yOff[c]
+	}
+	for i := range e.nl.Cells {
+		cell := &e.nl.Cells[i]
+		e.cxFull[i] = e.xFull[i] + cell.W/2
+		e.cyFull[i] = e.yFull[i] + cell.H/2
+	}
+}
+
+// eval computes the objective and gradient at v.
+func (e *engine) eval(v, grad []float64) float64 {
+	e.funcEvals++
+	e.unpack(v)
+	withGrad := grad != nil
+	if withGrad {
+		for i := range e.gxFull {
+			e.gxFull[i] = 0
+			e.gyFull[i] = 0
+		}
+	}
+
+	wl := e.evalWL(withGrad, 1)
+	var dens float64
+	if e.lambda > 0 {
+		if withGrad {
+			dens = e.evalDensity(e.lambda)
+		} else {
+			dens = e.pot.Eval(e.cxFull, e.cyFull, nil, nil)
+		}
+	}
+	var align float64
+	if e.alpha > 0 && len(e.o.Groups) > 0 && !e.hard {
+		align = e.evalAlign(withGrad, e.alpha)
+	}
+
+	if withGrad {
+		for i := range grad {
+			grad[i] = 0
+		}
+		for c := range e.nl.Cells {
+			if e.xVar[c] < 0 {
+				continue
+			}
+			grad[e.xVar[c]] += e.gxFull[c]
+			grad[e.nx+e.yVar[c]] += e.gyFull[c]
+		}
+	}
+	return wl + e.lambda*dens + e.alpha*align
+}
+
+// evalWL computes the smooth wirelength and accumulates weight·grad into the
+// full per-cell gradient arrays.
+func (e *engine) evalWL(withGrad bool, weight float64) float64 {
+	nl := e.nl
+	total := 0.0
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		p := net.Degree()
+		if p < 2 {
+			continue
+		}
+		if cap(e.pinX) < p {
+			e.pinX = make([]float64, p)
+			e.pinY = make([]float64, p)
+			e.pinGX = make([]float64, p)
+			e.pinGY = make([]float64, p)
+		}
+		xs := e.pinX[:p]
+		ys := e.pinY[:p]
+		for k, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == netlist.NoCell {
+				xs[k] = pin.DX
+				ys[k] = pin.DY
+			} else {
+				xs[k] = e.xFull[pin.Cell] + pin.DX
+				ys[k] = e.yFull[pin.Cell] + pin.DY
+			}
+		}
+		if !withGrad {
+			total += net.Weight * (e.model.EvalAxis(xs, nil) + e.model.EvalAxis(ys, nil))
+			continue
+		}
+		gx := e.pinGX[:p]
+		gy := e.pinGY[:p]
+		for k := range gx {
+			gx[k] = 0
+			gy[k] = 0
+		}
+		total += net.Weight * wirelength.Eval(e.model, xs, ys, gx, gy)
+		w := net.Weight * weight
+		for k, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == netlist.NoCell || e.xVar[pin.Cell] < 0 {
+				continue
+			}
+			e.gxFull[pin.Cell] += w * gx[k]
+			e.gyFull[pin.Cell] += w * gy[k]
+		}
+	}
+	return total
+}
+
+// evalDensity computes the density penalty and adds weight·grad.
+func (e *engine) evalDensity(weight float64) float64 {
+	for i := range e.sgx {
+		e.sgx[i] = 0
+		e.sgy[i] = 0
+	}
+	n := e.pot.Eval(e.cxFull, e.cyFull, e.sgx, e.sgy)
+	for i := range e.sgx {
+		e.gxFull[i] += weight * e.sgx[i]
+		e.gyFull[i] += weight * e.sgy[i]
+	}
+	return n
+}
+
+// evalAlign computes the soft alignment energy and adds weight·grad.
+func (e *engine) evalAlign(withGrad bool, weight float64) float64 {
+	if !withGrad {
+		return alignEnergy(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull, nil, nil)
+	}
+	for i := range e.sgx {
+		e.sgx[i] = 0
+		e.sgy[i] = 0
+	}
+	a := alignEnergy(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull, e.sgx, e.sgy)
+	for i := range e.sgx {
+		e.gxFull[i] += weight * e.sgx[i]
+		e.gyFull[i] += weight * e.sgy[i]
+	}
+	return a
+}
+
+// gradL1 sums |g| over movable cells.
+func gradL1(gx, gy []float64, nl *netlist.Netlist) float64 {
+	s := 0.0
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed {
+			continue
+		}
+		s += math.Abs(gx[i]) + math.Abs(gy[i])
+	}
+	return s
+}
+
+// run executes the λ-scheduled outer loop.
+func (e *engine) run() (Result, error) {
+	nl, pl := e.nl, e.pl
+	v := make([]float64, e.nVars)
+	e.initVars(v)
+
+	gammaHi := 8 * math.Max(e.grid.BinW, e.grid.BinH)
+	gammaLo := 0.5 * math.Max(e.grid.BinW, e.grid.BinH)
+	e.model.SetGamma(gammaHi)
+
+	// Auto-scale λ (and α in soft mode) from first-order balance.
+	e.lambda, e.alpha = 0, 0
+	e.unpack(v)
+	for i := range e.gxFull {
+		e.gxFull[i] = 0
+		e.gyFull[i] = 0
+	}
+	e.evalWL(true, 1)
+	wlNorm := gradL1(e.gxFull, e.gyFull, nl)
+
+	dgx := make([]float64, len(e.gxFull))
+	dgy := make([]float64, len(e.gyFull))
+	e.pot.Eval(e.cxFull, e.cyFull, dgx, dgy)
+	densNorm := gradL1(dgx, dgy, nl)
+	lambda0 := 1e-4
+	if densNorm > 0 {
+		lambda0 = 0.2 * wlNorm / densNorm
+	}
+
+	alpha0 := 0.0
+	if len(e.o.Groups) > 0 && !e.hard {
+		agx := make([]float64, len(e.gxFull))
+		agy := make([]float64, len(e.gyFull))
+		alignEnergy(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull, agx, agy)
+		if alignNorm := gradL1(agx, agy, nl); alignNorm > 0 {
+			alpha0 = 0.02 * wlNorm / alignNorm * e.o.AlignWeight
+		}
+	}
+
+	res := Result{}
+	e.lambda = lambda0
+	e.alpha = alpha0
+	// Over-penalization guard: past some λ the smooth-kernel objective
+	// stops tracking exact overflow and the iterates drift. Keep the best
+	// iterate seen and stop once overflow plateaus.
+	bestV := make([]float64, len(v))
+	bestOv := math.Inf(1)
+	sinceBest := 0
+	for outer := 0; outer < e.o.MaxOuterIters; outer++ {
+		frac := float64(outer) / math.Max(1, float64(e.o.MaxOuterIters-1))
+		gamma := gammaHi * math.Pow(gammaLo/gammaHi, frac)
+		e.model.SetGamma(gamma)
+
+		r := opt.Minimize(e.eval, v, opt.Options{
+			MaxIter:  e.o.InnerIters,
+			GradTol:  1e-7,
+			StepInit: e.stepInit(v),
+		})
+		res.FuncEvals += r.FuncEvals
+		res.OuterIters = outer + 1
+
+		e.clampVars(v)
+		e.commit(v)
+		ov := density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
+		if ov < bestOv-1e-4 {
+			bestOv = ov
+			copy(bestV, v)
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+		if e.o.Trace != nil {
+			e.unpack(v)
+			e.o.Trace(TracePoint{
+				Outer:     outer,
+				HPWL:      pl.HPWL(nl),
+				Overflow:  ov,
+				AlignRMS:  AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull),
+				Objective: r.F,
+				Lambda:    e.lambda,
+				Alpha:     e.alpha,
+			})
+		}
+		if ov < e.o.OverflowTarget && outer >= 3 {
+			break
+		}
+		if sinceBest >= 4 {
+			break // density progress has stalled; more λ only hurts
+		}
+		e.lambda *= 2
+		if e.alpha > 0 {
+			e.alpha *= 1.7
+		}
+	}
+	if bestOv < math.Inf(1) {
+		copy(v, bestV)
+	}
+
+	// Soft mode needs a final alignment polish before legalization; hard
+	// mode is aligned by construction.
+	if !e.hard && len(e.o.Groups) > 0 && e.alpha > 0 {
+		e.alpha *= 64
+		r := opt.Minimize(e.eval, v, opt.Options{
+			MaxIter:  e.o.InnerIters,
+			GradTol:  1e-7,
+			StepInit: e.stepInit(v),
+		})
+		res.FuncEvals += r.FuncEvals
+		e.clampVars(v)
+	}
+
+	e.commit(v)
+	pl.ClampInto(nl, e.core.Region)
+	e.unpack(v)
+	res.HPWL = pl.HPWL(nl)
+	res.Overflow = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
+	res.AlignRMS = AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull)
+	return res, nil
+}
+
+// stepInit picks the first trial step so the strongest variable moves about
+// a quarter bin.
+func (e *engine) stepInit(v []float64) float64 {
+	g := make([]float64, len(v))
+	e.eval(v, g)
+	maxG := 0.0
+	for _, gv := range g {
+		if a := math.Abs(gv); a > maxG {
+			maxG = a
+		}
+	}
+	if maxG == 0 {
+		return 1
+	}
+	return 0.25 * math.Max(e.grid.BinW, e.grid.BinH) / maxG
+}
+
+// clampVars keeps every variable inside its feasible interval.
+func (e *engine) clampVars(v []float64) {
+	for i := 0; i < e.nx; i++ {
+		v[i] = geom.Clamp(v[i], e.xLo[i], math.Max(e.xLo[i], e.xHi[i]))
+	}
+	for i := 0; i < e.ny; i++ {
+		v[e.nx+i] = geom.Clamp(v[e.nx+i], e.yLo[i], math.Max(e.yLo[i], e.yHi[i]))
+	}
+}
+
+// commit writes the variable vector back into the placement.
+func (e *engine) commit(v []float64) {
+	for c := range e.nl.Cells {
+		if e.xVar[c] < 0 {
+			continue
+		}
+		e.pl.X[c] = v[e.xVar[c]]
+		e.pl.Y[c] = v[e.nx+e.yVar[c]] + e.yOff[c]
+	}
+}

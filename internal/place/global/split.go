@@ -1,0 +1,70 @@
+package global
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// SplitWideGroups folds groups that are too wide to place as one bit-aligned
+// band into several side-by-side banks, the way a designer folds a long
+// datapath. A group whose packed column width exceeds maxFrac of the core
+// width is cut into consecutive runs (columns ordered by their current
+// wirelength-driven x) each narrow enough to place. Each bank keeps the full
+// bit order, so alignment semantics are unchanged; only the shared base-y
+// constraint is relaxed between banks.
+func SplitWideGroups(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, groups []AlignGroup, maxFrac float64) []AlignGroup {
+	if maxFrac <= 0 {
+		maxFrac = 0.95
+	}
+	limit := core.Region.W() * maxFrac
+	var out []AlignGroup
+	for _, g := range groups {
+		if len(g.Cols) == 0 {
+			out = append(out, g)
+			continue
+		}
+		type colInfo struct {
+			cells []netlist.CellID
+			meanX float64
+			w     float64
+		}
+		cols := make([]colInfo, 0, len(g.Cols))
+		total := 0.0
+		for _, col := range g.Cols {
+			ci := colInfo{cells: col}
+			for _, c := range col {
+				ci.meanX += pl.X[c]
+				if w := nl.Cell(c).W; w > ci.w {
+					ci.w = w
+				}
+			}
+			ci.meanX /= float64(len(col))
+			total += ci.w
+			cols = append(cols, ci)
+		}
+		if total <= limit {
+			out = append(out, g)
+			continue
+		}
+		sort.SliceStable(cols, func(a, b int) bool { return cols[a].meanX < cols[b].meanX })
+		nBanks := int(total/limit) + 1
+		perBank := total/float64(nBanks) + 1e-9
+		bank := AlignGroup{}
+		acc := 0.0
+		for _, ci := range cols {
+			if acc+ci.w > perBank && len(bank.Cols) > 0 {
+				out = append(out, bank)
+				bank = AlignGroup{}
+				acc = 0
+			}
+			bank.Cols = append(bank.Cols, ci.cells)
+			acc += ci.w
+		}
+		if len(bank.Cols) > 0 {
+			out = append(out, bank)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package global
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// chainDesign builds n columns of `bits` DFFs, chained left to right by
+// per-bit nets, and returns everything needed for split/chain tests.
+func chainDesign(t *testing.T, bits, nCols int) (*netlist.Netlist, *netlist.Placement, *geom.Core, AlignGroup) {
+	t.Helper()
+	nl := netlist.New("chain")
+	cols := make([][]netlist.CellID, nCols)
+	for s := 0; s < nCols; s++ {
+		cols[s] = make([]netlist.CellID, bits)
+		for b := 0; b < bits; b++ {
+			cols[s][b] = nl.MustAddCell(fmt.Sprintf("c%d_%d", s, b), "DFF", 6, 10, false)
+		}
+	}
+	for s := 0; s+1 < nCols; s++ {
+		for b := 0; b < bits; b++ {
+			nl.MustAddNet(fmt.Sprintf("n%d_%d", s, b), 1,
+				netlist.Endpoint{Cell: cols[s][b], Pin: "Q", Dir: netlist.DirOutput},
+				netlist.Endpoint{Cell: cols[s+1][b], Pin: "D", Dir: netlist.DirInput},
+			)
+		}
+	}
+	core := geom.NewCore(geom.NewRect(0, 0, 200, 200), 10, 1)
+	pl := netlist.NewPlacement(nl)
+	return nl, pl, core, AlignGroup{Cols: cols}
+}
+
+func TestSplitWideGroupsKeepsNarrow(t *testing.T) {
+	nl, pl, core, g := chainDesign(t, 4, 5) // 5 cols × 6 wide = 30 ≤ 100
+	out := SplitWideGroups(nl, pl, core, []AlignGroup{g}, 0.5)
+	if len(out) != 1 || len(out[0].Cols) != 5 {
+		t.Fatalf("narrow group was split: %d groups", len(out))
+	}
+}
+
+func TestSplitWideGroupsFoldsWide(t *testing.T) {
+	nl, pl, core, g := chainDesign(t, 4, 40) // 40 × 6 = 240 > 100
+	// Spread initial x so column order is meaningful.
+	for s, col := range g.Cols {
+		for _, c := range col {
+			pl.X[c] = float64(s) * 5
+		}
+	}
+	out := SplitWideGroups(nl, pl, core, []AlignGroup{g}, 0.5)
+	if len(out) < 2 {
+		t.Fatalf("wide group not split: %d groups", len(out))
+	}
+	// Every bank must be narrow enough and keep all bits.
+	totalCols := 0
+	for _, bank := range out {
+		w := 0.0
+		for _, col := range bank.Cols {
+			w += nl.Cell(col[0]).W
+			if len(col) != 4 {
+				t.Fatalf("bank column lost bits: %d", len(col))
+			}
+		}
+		if w > 100+1e-9 {
+			t.Errorf("bank width %g exceeds limit", w)
+		}
+		totalCols += len(bank.Cols)
+	}
+	if totalCols != 40 {
+		t.Errorf("columns lost in split: %d", totalCols)
+	}
+	// Banks follow the x order: first bank holds the leftmost columns.
+	first := out[0].Cols[0][0]
+	last := out[len(out)-1].Cols[len(out[len(out)-1].Cols)-1][0]
+	if !(pl.X[first] < pl.X[last]) {
+		t.Error("banks not ordered by position")
+	}
+}
+
+func TestChainOrderRecoversChain(t *testing.T) {
+	nl, _, _, g := chainDesign(t, 4, 8)
+	order := chainOrder(nl, g, 16)
+	if len(order) != 8 {
+		t.Fatalf("order length %d", len(order))
+	}
+	// The recovered order must be the chain or its reverse.
+	forward := true
+	for i := range order {
+		if order[i] != i {
+			forward = false
+			break
+		}
+	}
+	backward := true
+	for i := range order {
+		if order[i] != len(order)-1-i {
+			backward = false
+			break
+		}
+	}
+	if !forward && !backward {
+		t.Errorf("chain not recovered: %v", order)
+	}
+}
+
+func TestChainOrderHandlesDisconnected(t *testing.T) {
+	// Two disjoint chains in one group: order must still include every
+	// column exactly once.
+	nl := netlist.New("dis")
+	var cols [][]netlist.CellID
+	for s := 0; s < 6; s++ {
+		col := make([]netlist.CellID, 4)
+		for b := 0; b < 4; b++ {
+			col[b] = nl.MustAddCell(fmt.Sprintf("d%d_%d", s, b), "DFF", 6, 10, false)
+		}
+		cols = append(cols, col)
+	}
+	link := func(a, b int) {
+		for bit := 0; bit < 4; bit++ {
+			nl.MustAddNet(fmt.Sprintf("l%d_%d_%d", a, b, bit), 1,
+				netlist.Endpoint{Cell: cols[a][bit], Pin: "Q", Dir: netlist.DirOutput},
+				netlist.Endpoint{Cell: cols[b][bit], Pin: "D", Dir: netlist.DirInput},
+			)
+		}
+	}
+	link(0, 1)
+	link(1, 2)
+	link(3, 4)
+	link(4, 5)
+	order := chainOrder(nl, AlignGroup{Cols: cols}, 16)
+	seen := map[int]bool{}
+	for _, o := range order {
+		if seen[o] {
+			t.Fatalf("column %d repeated in order %v", o, order)
+		}
+		seen[o] = true
+	}
+	if len(order) != 6 {
+		t.Fatalf("order incomplete: %v", order)
+	}
+}
+
+func TestChainOrderTinyGroups(t *testing.T) {
+	nl, _, _, g := chainDesign(t, 4, 2)
+	if got := chainOrder(nl, g, 16); len(got) != 2 {
+		t.Errorf("2-column order = %v", got)
+	}
+	g1 := AlignGroup{Cols: g.Cols[:1]}
+	if got := chainOrder(nl, g1, 16); len(got) != 1 || got[0] != 0 {
+		t.Errorf("1-column order = %v", got)
+	}
+}

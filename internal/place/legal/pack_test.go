@@ -1,0 +1,114 @@
+package legal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackColumnsNoOverlapWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		mus := make([]float64, n)
+		ws := make([]float64, n)
+		total := 0.0
+		for i := range mus {
+			mus[i] = rng.Float64() * 100
+			ws[i] = 1 + rng.Float64()*5
+			total += ws[i]
+		}
+		sort.Float64s(mus)
+		lo, hi := 0.0, total+rng.Float64()*100 // always feasible
+		xs := packColumns(mus, ws, lo, hi)
+		prevEnd := lo
+		for i, x := range xs {
+			if x < prevEnd-1e-9 {
+				return false // overlap or out of bounds
+			}
+			prevEnd = x + ws[i]
+		}
+		return prevEnd <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackColumnsKeepsSeparatedAtDesired(t *testing.T) {
+	mus := []float64{10, 30, 60}
+	ws := []float64{4, 4, 4}
+	xs := packColumns(mus, ws, 0, 100)
+	for i := range mus {
+		if xs[i] != mus[i] {
+			t.Errorf("separated column %d moved: %g != %g", i, xs[i], mus[i])
+		}
+	}
+}
+
+func TestPackColumnsCollapsesBunched(t *testing.T) {
+	// Three columns wanting the same spot must pack around it.
+	mus := []float64{50, 50, 50}
+	ws := []float64{4, 4, 4}
+	xs := packColumns(mus, ws, 0, 100)
+	if !(xs[0] < xs[1] && xs[1] < xs[2]) {
+		t.Fatalf("order broken: %v", xs)
+	}
+	if xs[1]-xs[0] != 4 || xs[2]-xs[1] != 4 {
+		t.Errorf("not abutted: %v", xs)
+	}
+	// Quadratic optimum centers the run on the shared mean.
+	center := (xs[0] + xs[2] + 4) / 2
+	if center < 48 || center > 56 {
+		t.Errorf("pack not centered near 52: %v", xs)
+	}
+}
+
+func TestPackColumnsClampsToInterval(t *testing.T) {
+	mus := []float64{-50, -40}
+	ws := []float64{10, 10}
+	xs := packColumns(mus, ws, 0, 100)
+	if xs[0] != 0 || xs[1] != 10 {
+		t.Errorf("left clamp wrong: %v", xs)
+	}
+	mus = []float64{140, 150}
+	xs = packColumns(mus, ws, 0, 100)
+	if xs[1]+10 > 100+1e-9 {
+		t.Errorf("right clamp wrong: %v", xs)
+	}
+}
+
+func TestIntersectAndSubtractIntervals(t *testing.T) {
+	a := []interval{{0, 10}, {20, 30}}
+	b := []interval{{5, 25}}
+	got := intersectIntervals(a, b)
+	want := []interval{{5, 10}, {20, 25}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("intersect = %v", got)
+	}
+	sub := subtractInterval([]interval{{0, 30}}, 10, 20)
+	if len(sub) != 2 || sub[0] != (interval{0, 10}) || sub[1] != (interval{20, 30}) {
+		t.Errorf("subtract = %v", sub)
+	}
+	if got := subtractInterval([]interval{{0, 5}}, 10, 20); len(got) != 1 {
+		t.Errorf("disjoint subtract = %v", got)
+	}
+}
+
+func TestFitInSpansRespectsMinX(t *testing.T) {
+	spans := []interval{{0, 10}, {20, 40}}
+	x, ok := fitInSpans(spans, 5, 2, 12)
+	if !ok || x < 20 {
+		t.Errorf("minX violated: x=%g ok=%v", x, ok)
+	}
+	// Desired inside the allowed span: stays at desired.
+	x, ok = fitInSpans(spans, 5, 25, 12)
+	if !ok || x != 25 {
+		t.Errorf("x=%g", x)
+	}
+	// Nothing fits.
+	if _, ok := fitInSpans(spans, 50, 0, 0); ok {
+		t.Error("oversized fit accepted")
+	}
+}

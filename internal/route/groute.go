@@ -1,0 +1,383 @@
+package route
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// GRouteOptions configures the global router.
+type GRouteOptions struct {
+	NX, NY    int     // routing grid (default 48×48)
+	WirePitch float64 // track pitch in database units (default 1)
+	// CapacityFactor scales the geometric edge capacities (default 0.35:
+	// roughly a third of the crossing tracks are available to signal
+	// routing, the rest go to power/clock/blockage — the conventional
+	// global-routing assumption).
+	CapacityFactor float64
+	// Passes is the number of rip-up-and-reroute passes after the initial
+	// routing (default 2).
+	Passes int
+	// MaxDegree skips monster nets (clock trees); they are routed on
+	// dedicated resources in practice (default 64).
+	MaxDegree int
+}
+
+// GRouteResult summarizes a global routing.
+type GRouteResult struct {
+	WirelengthDB  float64 // routed wirelength in database units, detours included
+	Overflow      float64 // Σ max(0, usage − capacity) over edges, in tracks
+	MaxUsage      float64 // peak edge usage/capacity
+	OverflowEdges int     // edges above capacity
+	SkippedNets   int     // nets above MaxDegree
+}
+
+// grEdge addressing: horizontal edges cross vertical bin boundaries
+// (between (i,j) and (i+1,j)); vertical edges cross horizontal boundaries.
+type grouter struct {
+	opt  GRouteOptions
+	grid geom.Grid
+	// usage/capacity per edge.
+	hUse, vUse []float64
+	hCap, vCap float64
+	// per-net routed paths: sequence of edge ids (sign split h/v).
+	paths [][]grEdgeRef
+}
+
+type grEdgeRef struct {
+	horizontal bool
+	idx        int
+}
+
+func (r *grouter) hIdx(i, j int) int { return j*(r.grid.NX-1) + i }
+func (r *grouter) vIdx(i, j int) int { return j*r.grid.NX + i }
+
+// GlobalRoute routes every net of the placement over a coarse grid with
+// L/Z-pattern routing and congestion-driven rip-up-and-reroute. It is the
+// routed-wirelength proxy of the evaluation: unlike RUDY it models detours,
+// so scrambled buses pay for the congestion they cause.
+func GlobalRoute(nl *netlist.Netlist, pl *netlist.Placement, region geom.Rect, opt GRouteOptions) *GRouteResult {
+	if opt.NX <= 0 {
+		opt.NX = 48
+	}
+	if opt.NY <= 0 {
+		opt.NY = 48
+	}
+	if opt.WirePitch <= 0 {
+		opt.WirePitch = 1
+	}
+	if opt.CapacityFactor <= 0 {
+		opt.CapacityFactor = 0.35
+	}
+	if opt.Passes <= 0 {
+		opt.Passes = 2
+	}
+	if opt.MaxDegree <= 0 {
+		opt.MaxDegree = 64
+	}
+	r := &grouter{opt: opt, grid: geom.NewGrid(region, opt.NX, opt.NY)}
+	r.hUse = make([]float64, (opt.NX-1)*opt.NY)
+	r.vUse = make([]float64, opt.NX*(opt.NY-1))
+	r.hCap = opt.CapacityFactor * r.grid.BinH / opt.WirePitch
+	r.vCap = opt.CapacityFactor * r.grid.BinW / opt.WirePitch
+
+	// Decompose nets into 2-pin segments along their MST; order nets by
+	// bounding box (small, local nets first — they have no flexibility).
+	type segment struct {
+		net  netlist.NetID
+		a, b [2]int // bin coords
+	}
+	var segs []segment
+	res := &GRouteResult{}
+	var pts []geom.Point
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if net.Degree() < 2 {
+			continue
+		}
+		if net.Degree() > opt.MaxDegree {
+			res.SkippedNets++
+			continue
+		}
+		pts = pts[:0]
+		for _, pid := range net.Pins {
+			pts = append(pts, pl.PinPos(nl, pid))
+		}
+		for _, e := range mstEdges(pts) {
+			ai, aj := r.grid.Loc(pts[e[0]])
+			bi, bj := r.grid.Loc(pts[e[1]])
+			if ai == bi && aj == bj {
+				continue
+			}
+			segs = append(segs, segment{netlist.NetID(ni), [2]int{ai, aj}, [2]int{bi, bj}})
+		}
+	}
+	sort.SliceStable(segs, func(a, b int) bool {
+		la := absInt(segs[a].a[0]-segs[a].b[0]) + absInt(segs[a].a[1]-segs[a].b[1])
+		lb := absInt(segs[b].a[0]-segs[b].b[0]) + absInt(segs[b].a[1]-segs[b].b[1])
+		return la < lb
+	})
+
+	r.paths = make([][]grEdgeRef, len(segs))
+	for si := range segs {
+		r.paths[si] = r.route(segs[si].a, segs[si].b)
+		r.apply(r.paths[si], 1)
+	}
+
+	// Rip-up and reroute segments that touch overloaded edges.
+	for pass := 0; pass < opt.Passes; pass++ {
+		rerouted := 0
+		for si := range segs {
+			if !r.overflows(r.paths[si]) {
+				continue
+			}
+			r.apply(r.paths[si], -1)
+			r.paths[si] = r.route(segs[si].a, segs[si].b)
+			r.apply(r.paths[si], 1)
+			rerouted++
+		}
+		if rerouted == 0 {
+			break
+		}
+	}
+
+	// Collect metrics.
+	for si := range segs {
+		for _, e := range r.paths[si] {
+			if e.horizontal {
+				res.WirelengthDB += r.grid.BinW
+			} else {
+				res.WirelengthDB += r.grid.BinH
+			}
+		}
+	}
+	for _, u := range r.hUse {
+		if u > r.hCap {
+			res.Overflow += u - r.hCap
+			res.OverflowEdges++
+		}
+		if m := u / r.hCap; m > res.MaxUsage {
+			res.MaxUsage = m
+		}
+	}
+	for _, u := range r.vUse {
+		if u > r.vCap {
+			res.Overflow += u - r.vCap
+			res.OverflowEdges++
+		}
+		if m := u / r.vCap; m > res.MaxUsage {
+			res.MaxUsage = m
+		}
+	}
+	return res
+}
+
+// edgeCost is the congestion-aware cost of adding one track to an edge at
+// the given usage/capacity: cheap below 80% utilization, steeply rising
+// beyond (routers must be strongly discouraged from overfilling).
+func edgeCost(use, cap float64) float64 {
+	u := use / cap
+	if u < 0.8 {
+		return 1
+	}
+	return 1 + 16*(u-0.8)*(u-0.8)*25
+}
+
+// route finds the cheapest monotone L/Z path between two bins: it tries
+// both L shapes and every Z with one intermediate bend along either axis.
+func (r *grouter) route(a, b [2]int) []grEdgeRef {
+	if a[0] == b[0] && a[1] == b[1] {
+		return nil
+	}
+	best := math.Inf(1)
+	var bestPath []grEdgeRef
+	try := func(path []grEdgeRef, cost float64) {
+		if cost < best {
+			best = cost
+			bestPath = path
+		}
+	}
+	// The bend position may leave the bounding box by up to detourWindow
+	// bins — essential for congestion relief when both pins share a row or
+	// column (the straight path would otherwise be the only candidate).
+	const detourWindow = 6
+	// Z-routes with the vertical run at column m (includes both Ls).
+	lo := maxInt(0, minInt(a[0], b[0])-detourWindow)
+	hi := minInt(r.grid.NX-1, maxInt(a[0], b[0])+detourWindow)
+	for m := lo; m <= hi; m++ {
+		path, cost := r.zPathHV(a, b, m)
+		try(path, cost)
+	}
+	// Z-routes with the horizontal run at row m.
+	lo = maxInt(0, minInt(a[1], b[1])-detourWindow)
+	hi = minInt(r.grid.NY-1, maxInt(a[1], b[1])+detourWindow)
+	for m := lo; m <= hi; m++ {
+		path, cost := r.zPathVH(a, b, m)
+		try(path, cost)
+	}
+	return bestPath
+}
+
+// zPathHV: horizontal from a to column m, vertical to b's row, horizontal to b.
+func (r *grouter) zPathHV(a, b [2]int, m int) ([]grEdgeRef, float64) {
+	var path []grEdgeRef
+	cost := 0.0
+	addH := func(x0, x1, y int) {
+		step := 1
+		if x1 < x0 {
+			step = -1
+		}
+		for x := x0; x != x1; x += step {
+			i := x
+			if step < 0 {
+				i = x - 1
+			}
+			idx := r.hIdx(i, y)
+			path = append(path, grEdgeRef{true, idx})
+			cost += edgeCost(r.hUse[idx], r.hCap)
+		}
+	}
+	addV := func(y0, y1, x int) {
+		step := 1
+		if y1 < y0 {
+			step = -1
+		}
+		for y := y0; y != y1; y += step {
+			j := y
+			if step < 0 {
+				j = y - 1
+			}
+			idx := r.vIdx(x, j)
+			path = append(path, grEdgeRef{false, idx})
+			cost += edgeCost(r.vUse[idx], r.vCap)
+		}
+	}
+	addH(a[0], m, a[1])
+	addV(a[1], b[1], m)
+	addH(m, b[0], b[1])
+	return path, cost
+}
+
+// zPathVH: vertical from a to row m, horizontal to b's column, vertical to b.
+func (r *grouter) zPathVH(a, b [2]int, m int) ([]grEdgeRef, float64) {
+	var path []grEdgeRef
+	cost := 0.0
+	addH := func(x0, x1, y int) {
+		step := 1
+		if x1 < x0 {
+			step = -1
+		}
+		for x := x0; x != x1; x += step {
+			i := x
+			if step < 0 {
+				i = x - 1
+			}
+			idx := r.hIdx(i, y)
+			path = append(path, grEdgeRef{true, idx})
+			cost += edgeCost(r.hUse[idx], r.hCap)
+		}
+	}
+	addV := func(y0, y1, x int) {
+		step := 1
+		if y1 < y0 {
+			step = -1
+		}
+		for y := y0; y != y1; y += step {
+			j := y
+			if step < 0 {
+				j = y - 1
+			}
+			idx := r.vIdx(x, j)
+			path = append(path, grEdgeRef{false, idx})
+			cost += edgeCost(r.vUse[idx], r.vCap)
+		}
+	}
+	addV(a[1], m, a[0])
+	addH(a[0], b[0], m)
+	addV(m, b[1], b[0])
+	return path, cost
+}
+
+func (r *grouter) apply(path []grEdgeRef, delta float64) {
+	for _, e := range path {
+		if e.horizontal {
+			r.hUse[e.idx] += delta
+		} else {
+			r.vUse[e.idx] += delta
+		}
+	}
+}
+
+func (r *grouter) overflows(path []grEdgeRef) bool {
+	for _, e := range path {
+		if e.horizontal {
+			if r.hUse[e.idx] > r.hCap {
+				return true
+			}
+		} else if r.vUse[e.idx] > r.vCap {
+			return true
+		}
+	}
+	return false
+}
+
+// mstEdges returns the Prim MST edge list (point index pairs).
+func mstEdges(pts []geom.Point) [][2]int {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	from[0] = -1
+	var edges [][2]int
+	for k := 0; k < n; k++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			edges = append(edges, [2]int{from[best], best})
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[best].Manhattan(pts[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package route
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// RUDYOptions configures the congestion estimate.
+type RUDYOptions struct {
+	WireWidth float64 // routed wire width in database units; 0 means 1
+	Capacity  float64 // routing capacity per unit bin area; 0 means 1
+}
+
+// CongestionMap is the per-bin RUDY routing-demand estimate.
+type CongestionMap struct {
+	Grid geom.Grid
+	// Demand is per-bin routing demand normalized by capacity: 1.0 means
+	// the bin is exactly at capacity.
+	Demand []float64
+}
+
+// RUDY computes the Rectangular Uniform wire DensitY congestion estimate:
+// each net spreads (HPWL · wireWidth) of routing area uniformly over its
+// bounding box. Degenerate (flat) boxes are padded by the wire width.
+func RUDY(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOptions) *CongestionMap {
+	if opt.WireWidth <= 0 {
+		opt.WireWidth = 1
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = 1
+	}
+	cm := &CongestionMap{Grid: grid, Demand: make([]float64, grid.Bins())}
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		if net.Degree() < 2 {
+			continue
+		}
+		bb := pl.NetBBox(nl, netlist.NetID(i))
+		hpwl := bb.W() + bb.H()
+		if hpwl == 0 {
+			continue
+		}
+		// Pad flat boxes so division by area stays sane.
+		pad := opt.WireWidth / 2
+		box := geom.NewRect(bb.Lo.X-pad, bb.Lo.Y-pad, bb.Hi.X+pad, bb.Hi.Y+pad)
+		wireArea := net.Weight * hpwl * opt.WireWidth
+		density := wireArea / box.Area()
+		i0, i1, j0, j1 := grid.Range(box)
+		for j := j0; j < j1; j++ {
+			for bi := i0; bi < i1; bi++ {
+				ov := grid.BinRect(bi, j).Overlap(box)
+				if ov > 0 {
+					cm.Demand[grid.Index(bi, j)] += density * ov
+				}
+			}
+		}
+	}
+	binArea := grid.BinW * grid.BinH
+	for i := range cm.Demand {
+		cm.Demand[i] /= opt.Capacity * binArea
+	}
+	return cm
+}
+
+// CongestionStats summarizes a congestion map for evaluation tables.
+type CongestionStats struct {
+	Max      float64 // peak bin demand/capacity
+	Mean     float64 // average demand/capacity
+	ACE5     float64 // average congestion of the worst 5% of bins (ACE metric)
+	Overflow float64 // Σ max(0, demand − 1) over bins, in bin units
+}
+
+// Stats computes summary statistics of the map.
+func (cm *CongestionMap) Stats() CongestionStats {
+	n := len(cm.Demand)
+	if n == 0 {
+		return CongestionStats{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, cm.Demand)
+	sort.Float64s(sorted)
+	var s CongestionStats
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+		if v > 1 {
+			s.Overflow += v - 1
+		}
+	}
+	s.Mean = sum / float64(n)
+	s.Max = sorted[n-1]
+	k := int(math.Ceil(float64(n) * 0.05))
+	if k < 1 {
+		k = 1
+	}
+	top := 0.0
+	for _, v := range sorted[n-k:] {
+		top += v
+	}
+	s.ACE5 = top / float64(k)
+	return s
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotConverged is returned when CG exhausts its iteration budget without
+// reaching the requested tolerance. The solution vector still holds the best
+// iterate, which is usually good enough for an initial placement.
+var ErrNotConverged = errors.New("sparse: cg did not converge")
+
+// CGOptions controls the conjugate-gradient solver.
+type CGOptions struct {
+	MaxIter int     // 0 means 10*N
+	Tol     float64 // relative residual target; 0 means 1e-6
+}
+
+// CGResult reports solver statistics.
+type CGResult struct {
+	Iters    int
+	Residual float64 // final relative residual ||b-Ax|| / ||b||
+}
+
+// SolveCG solves A x = b for symmetric positive definite A with
+// Jacobi-preconditioned conjugate gradients. x holds the initial guess on
+// entry and the solution on exit.
+func SolveCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		panic(fmt.Sprintf("sparse: SolveCG dimension mismatch (n=%d, len(x)=%d, len(b)=%d)", n, len(x), len(b)))
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-6
+	}
+
+	// Jacobi preconditioner: M^{-1} = 1/diag(A), guarding zero diagonals.
+	minv := make([]float64, n)
+	a.Diag(minv)
+	for i, d := range minv {
+		if d > 0 {
+			minv[i] = 1 / d
+		} else {
+			minv[i] = 1
+		}
+	}
+
+	r := make([]float64, n)  // residual b - A x
+	z := make([]float64, n)  // preconditioned residual
+	p := make([]float64, n)  // search direction
+	ap := make([]float64, n) // A p
+
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		// b = 0 has the unique SPD solution x = 0.
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Iters: 0, Residual: 0}, nil
+	}
+
+	for i := range z {
+		z[i] = minv[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := Norm2(r) / bnorm
+	var it int
+	for it = 0; it < opt.MaxIter && res > opt.Tol; it++ {
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Matrix not SPD along p (or breakdown); stop with best iterate.
+			return CGResult{Iters: it, Residual: res}, fmt.Errorf("sparse: cg breakdown (pAp=%g): %w", pap, ErrNotConverged)
+		}
+		alpha := rz / pap
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		res = Norm2(r) / bnorm
+		if res <= opt.Tol {
+			it++
+			break
+		}
+		for i := range z {
+			z[i] = minv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if res > opt.Tol {
+		return CGResult{Iters: it, Residual: res}, ErrNotConverged
+	}
+	return CGResult{Iters: it, Residual: res}, nil
+}

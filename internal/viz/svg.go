@@ -1,0 +1,112 @@
+// Package viz renders placements as SVG: the core region and rows, every
+// cell footprint, and the extracted datapath groups in distinct colors so a
+// human can check at a glance whether the arrays came out bit-aligned. It is
+// how the paper's layout figures are reproduced.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datapath"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Options controls rendering.
+type Options struct {
+	// WidthPx is the output image width in pixels (default 900); height
+	// follows the core aspect ratio.
+	WidthPx float64
+	// Extraction colors group cells when non-nil.
+	Extraction *datapath.Extraction
+	// Title is drawn in the top-left corner.
+	Title string
+}
+
+// groupPalette cycles through visually distinct fills for datapath groups.
+var groupPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#17becf", "#e377c2", "#bcbd22", "#8c564b",
+}
+
+// WriteSVG renders the placement to w.
+func WriteSVG(w io.Writer, nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Options) error {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 900
+	}
+	region := core.Region
+	// Include fixed cells (pads) that sit outside the core.
+	var bb geom.BBox
+	bb.ExpandRect(region)
+	for i := range nl.Cells {
+		bb.ExpandRect(pl.CellRect(nl, netlist.CellID(i)))
+	}
+	view := bb.Rect().Inset(-2)
+	scale := opt.WidthPx / view.W()
+	hPx := view.H() * scale
+
+	// SVG y grows downward; chip y grows upward — flip.
+	x := func(v float64) float64 { return (v - view.Lo.X) * scale }
+	y := func(v float64) float64 { return hPx - (v-view.Lo.Y)*scale }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.WidthPx, hPx, opt.WidthPx, hPx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="#fafafa"/>`+"\n")
+
+	// Core region and row lines.
+	fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#ffffff" stroke="#888" stroke-width="1"/>`+"\n",
+		x(region.Lo.X), y(region.Hi.Y), region.W()*scale, region.H()*scale)
+	for _, row := range core.Rows {
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee" stroke-width="0.5"/>`+"\n",
+			x(row.X), y(row.Y), x(row.Right()), y(row.Y))
+	}
+
+	// Cells: random logic gray, fixed cells dark, groups colored.
+	for i := range nl.Cells {
+		cell := &nl.Cells[i]
+		r := pl.CellRect(nl, netlist.CellID(i))
+		fill := "#c8c8c8"
+		stroke := "#aaa"
+		switch {
+		case cell.Fixed:
+			fill = "#444444"
+			stroke = "#222"
+		case opt.Extraction != nil && opt.Extraction.CellGroup[i] >= 0:
+			fill = groupPalette[opt.Extraction.CellGroup[i]%len(groupPalette)]
+			stroke = "#333"
+		}
+		fmt.Fprintf(w,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.85" stroke="%s" stroke-width="0.3"/>`+"\n",
+			x(r.Lo.X), y(r.Hi.Y), r.W()*scale, r.H()*scale, fill, stroke)
+	}
+
+	if opt.Title != "" {
+		fmt.Fprintf(w, `<text x="8" y="16" font-family="monospace" font-size="13" fill="#333">%s</text>`+"\n",
+			escapeXML(opt.Title))
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func escapeXML(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,67 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datapath"
+	"repro/internal/gen"
+)
+
+func TestWriteSVG(t *testing.T) {
+	b := gen.Generate(gen.Config{
+		Name: "viz", Seed: 3, Bits: 8,
+		Units: []gen.UnitKind{gen.Adder}, RandomCells: 100, Pads: 8,
+	})
+	ext := datapath.Extract(b.Netlist, datapath.DefaultOptions())
+
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, b.Netlist, b.Placement, b.Core, Options{
+		Extraction: ext,
+		Title:      `demo <&> "quoted"`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// One rect per cell plus background and core.
+	if got := strings.Count(out, "<rect"); got < b.Netlist.NumCells() {
+		t.Errorf("rects = %d, want >= %d", got, b.Netlist.NumCells())
+	}
+	// Group color present (extraction found the adder).
+	if ext.NumGrouped() > 0 && !strings.Contains(out, groupPalette[0]) {
+		t.Error("no group coloring emitted")
+	}
+	// Title escaped.
+	if !strings.Contains(out, "demo &lt;&amp;&gt; &quot;quoted&quot;") {
+		t.Error("title not escaped")
+	}
+	// Row grid lines present.
+	if strings.Count(out, "<line") < b.Core.NumRows() {
+		t.Error("row lines missing")
+	}
+}
+
+func TestWriteSVGNoExtraction(t *testing.T) {
+	b := gen.Generate(gen.Config{
+		Name: "viz2", Seed: 4, Bits: 8,
+		Units: nil, RandomCells: 50, Pads: 4,
+	})
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, b.Netlist, b.Placement, b.Core, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatal("incomplete SVG")
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escapeXML = %q", got)
+	}
+}

@@ -1,0 +1,262 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func hpwlOf(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+func TestHPWLModel(t *testing.T) {
+	m := HPWL{}
+	xs := []float64{3, -1, 7, 2}
+	grad := make([]float64, 4)
+	got := m.EvalAxis(xs, grad)
+	if got != 8 {
+		t.Fatalf("HPWL = %g, want 8", got)
+	}
+	want := []float64{0, -1, 1, 0}
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Fatalf("grad = %v, want %v", grad, want)
+		}
+	}
+	if m.EvalAxis(nil, nil) != 0 {
+		t.Error("empty net should be 0")
+	}
+}
+
+func TestLSEUpperBoundsHPWL(t *testing.T) {
+	m := NewLSE(2.0)
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		wl := m.EvalAxis(xs, nil)
+		h := hpwlOf(xs)
+		bound := h + 2*m.Gamma*math.Log(float64(len(xs)))
+		return wl >= h-1e-9 && wl <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWALowerBoundsHPWL(t *testing.T) {
+	m := NewWA(2.0)
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		wl := m.EvalAxis(xs, nil)
+		h := hpwlOf(xs)
+		return wl <= h+1e-9 && wl >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The WA paper's claim is about the worst case: LSE's error grows as
+// 2γ·ln(n) when pins cluster (degenerating to 2γ·ln(n) at coincident pins),
+// while WA's error stays O(γ) independent of n. Verify on clustered nets —
+// the configurations that actually occur early in global placement.
+func TestWAWorstCaseBetterThanLSE(t *testing.T) {
+	gamma := 1.0
+	wa := NewWA(gamma)
+	lse := NewLSE(gamma)
+
+	// Degenerate net: all pins coincident. HPWL = 0.
+	xs := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	if got := wa.EvalAxis(xs, nil); math.Abs(got) > 1e-9 {
+		t.Errorf("WA on coincident pins = %g, want 0", got)
+	}
+	if got := lse.EvalAxis(xs, nil); math.Abs(got-2*gamma*math.Log(8)) > 1e-9 {
+		t.Errorf("LSE on coincident pins = %g, want 2γln8 = %g", got, 2*gamma*math.Log(8))
+	}
+
+	// Clustered nets: two tight clusters of many pins each. WA's worst-case
+	// error must not exceed LSE's.
+	rng := rand.New(rand.NewSource(17))
+	var maxErrWA, maxErrLSE float64
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(12)
+		xs := make([]float64, n)
+		c0, c1 := rng.Float64()*10, 20+rng.Float64()*10
+		for j := range xs {
+			c := c0
+			if j%2 == 0 {
+				c = c1
+			}
+			xs[j] = c + rng.NormFloat64()*0.2
+		}
+		h := hpwlOf(xs)
+		maxErrWA = math.Max(maxErrWA, math.Abs(wa.EvalAxis(xs, nil)-h))
+		maxErrLSE = math.Max(maxErrLSE, math.Abs(lse.EvalAxis(xs, nil)-h))
+	}
+	if maxErrWA > maxErrLSE {
+		t.Errorf("worst-case WA error %g exceeds LSE error %g on clustered nets", maxErrWA, maxErrLSE)
+	}
+}
+
+func TestSmoothModelsConvergeToHPWL(t *testing.T) {
+	xs := []float64{0, 3, 11, 5}
+	h := hpwlOf(xs)
+	for _, gamma := range []float64{4, 1, 0.25, 0.05} {
+		wa := NewWA(gamma).EvalAxis(xs, nil)
+		lse := NewLSE(gamma).EvalAxis(xs, nil)
+		if gamma == 0.05 {
+			if math.Abs(wa-h) > 0.1 || math.Abs(lse-h) > 0.6 {
+				t.Errorf("γ=%g: wa=%g lse=%g hpwl=%g (should be close)", gamma, wa, lse, h)
+			}
+		}
+	}
+}
+
+// Gradient check against central finite differences for both smooth models.
+func TestGradientsMatchFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	models := []Model{NewLSE(1.5), NewWA(1.5)}
+	for _, m := range models {
+		for trial := 0; trial < 30; trial++ {
+			n := 2 + rng.Intn(6)
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64() * 10
+			}
+			grad := make([]float64, n)
+			m.EvalAxis(xs, grad)
+			const h = 1e-6
+			for i := 0; i < n; i++ {
+				orig := xs[i]
+				xs[i] = orig + h
+				fp := m.EvalAxis(xs, nil)
+				xs[i] = orig - h
+				fm := m.EvalAxis(xs, nil)
+				xs[i] = orig
+				fd := (fp - fm) / (2 * h)
+				if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+					t.Fatalf("%s: grad[%d] = %g, finite diff = %g (xs=%v)",
+						m.Name(), i, grad[i], fd, xs)
+				}
+			}
+		}
+	}
+}
+
+func TestGradientAccumulates(t *testing.T) {
+	// Eval must *add* into grad so callers can accumulate across nets.
+	m := NewWA(1)
+	xs := []float64{0, 10}
+	grad := []float64{100, 100}
+	m.EvalAxis(xs, grad)
+	if grad[0] >= 100 || grad[1] <= 100 {
+		t.Errorf("gradient did not accumulate: %v", grad)
+	}
+}
+
+func TestNumericalStabilityLargeCoords(t *testing.T) {
+	// Coordinates far beyond exp() overflow range must still work thanks to
+	// max-subtraction.
+	for _, m := range []Model{NewLSE(0.5), NewWA(0.5)} {
+		xs := []float64{1e7, 1e7 + 13, 1e7 + 5}
+		grad := make([]float64, 3)
+		wl := m.EvalAxis(xs, grad)
+		if math.IsNaN(wl) || math.IsInf(wl, 0) {
+			t.Fatalf("%s: wl = %g on large coordinates", m.Name(), wl)
+		}
+		if math.Abs(wl-13) > 1.5 {
+			t.Errorf("%s: wl = %g, want ≈13", m.Name(), wl)
+		}
+		for i, g := range grad {
+			if math.IsNaN(g) {
+				t.Fatalf("%s: grad[%d] is NaN", m.Name(), i)
+			}
+		}
+	}
+}
+
+func TestEvalBothAxes(t *testing.T) {
+	m := NewWA(0.01)
+	xs := []float64{0, 10}
+	ys := []float64{0, 4}
+	gx := make([]float64, 2)
+	gy := make([]float64, 2)
+	wl := Eval(m, xs, ys, gx, gy)
+	if math.Abs(wl-14) > 0.1 {
+		t.Errorf("Eval = %g, want ≈14", wl)
+	}
+	if gx[1] <= 0 || gy[1] <= 0 {
+		t.Errorf("gradients wrong sign: gx=%v gy=%v", gx, gy)
+	}
+}
+
+func TestSetGamma(t *testing.T) {
+	m := NewWA(10)
+	xs := []float64{0, 10}
+	loose := m.EvalAxis(xs, nil)
+	m.SetGamma(0.01)
+	tight := m.EvalAxis(xs, nil)
+	if !(tight > loose) {
+		t.Errorf("tight γ should approach HPWL from below: loose=%g tight=%g", loose, tight)
+	}
+	if math.Abs(tight-10) > 0.01 {
+		t.Errorf("tight = %g, want ≈10", tight)
+	}
+}
+
+func sanitize(raw []float64) []float64 {
+	xs := raw[:0:0]
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		xs = append(xs, math.Mod(v, 1000))
+	}
+	return xs
+}
+
+func BenchmarkWAEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 8)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	grad := make([]float64, 8)
+	m := NewWA(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.EvalAxis(xs, grad)
+	}
+}
+
+func BenchmarkLSEEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 8)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	grad := make([]float64, 8)
+	m := NewLSE(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		m.EvalAxis(xs, grad)
+	}
+}

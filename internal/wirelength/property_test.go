@@ -1,0 +1,98 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: all models are translation invariant — shifting every pin by a
+// constant leaves the length unchanged. This is the invariant that lets the
+// placer move aligned groups as rigid bodies without changing their internal
+// wirelength.
+func TestModelsTranslationInvariant(t *testing.T) {
+	models := []Model{HPWL{}, NewLSE(1.3), NewWA(1.3)}
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 1e4)
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+			shifted[i] = xs[i] + shift
+		}
+		for _, m := range models {
+			a := m.EvalAxis(xs, nil)
+			b := m.EvalAxis(shifted, nil)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all pins by k > 0 scales every model's length by k.
+func TestModelsScaleCovariant(t *testing.T) {
+	// Smooth models scale only when γ scales too; that is exactly how the
+	// placer anneals γ in units of bin size, so test that contract.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 0.5 + rng.Float64()*4
+		n := 2 + rng.Intn(8)
+		xs := make([]float64, n)
+		scaled := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 20
+			scaled[i] = xs[i] * k
+		}
+		for _, gamma := range []float64{0.7, 2.5} {
+			for _, pair := range []struct{ a, b Model }{
+				{NewLSE(gamma), NewLSE(gamma * k)},
+				{NewWA(gamma), NewWA(gamma * k)},
+			} {
+				la := pair.a.EvalAxis(xs, nil)
+				lb := pair.b.EvalAxis(scaled, nil)
+				if math.Abs(lb-k*la) > 1e-6*(1+math.Abs(k*la)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both smooth models are symmetric under pin permutation.
+func TestModelsPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(6)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 30
+		}
+		perm := rng.Perm(n)
+		permuted := make([]float64, n)
+		for i, p := range perm {
+			permuted[i] = xs[p]
+		}
+		for _, m := range []Model{NewLSE(1), NewWA(1), HPWL{}} {
+			a := m.EvalAxis(xs, nil)
+			b := m.EvalAxis(permuted, nil)
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				t.Fatalf("%s not permutation invariant: %g vs %g", m.Name(), a, b)
+			}
+		}
+	}
+}
