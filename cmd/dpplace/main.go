@@ -4,13 +4,25 @@
 // Usage:
 //
 //	dpplace [-mode structure-aware|baseline] [-model wa|lse] [-out out.pl]
-//	        [-outer 24] [-inner 50] design.aux
+//	        [-outer 24] [-inner 50] [-timeout 0] [-on-degrade fallback|fail]
+//	        design.aux
+//
+// Exit codes classify the failure so scripts can react without parsing
+// stderr:
+//
+//	0  success (possibly with recorded degradations under -on-degrade fallback)
+//	1  unexpected error
+//	2  usage error
+//	3  deadline exceeded (-timeout); a legal partial result, when one
+//	   exists, is still written to -out
+//	4  malformed input file
+//	5  degenerate datapath groups under -on-degrade fail
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/bookshelf"
@@ -20,6 +32,35 @@ import (
 	"repro/internal/viz"
 )
 
+// Exit codes.
+const (
+	exitOK         = 0
+	exitError      = 1
+	exitUsage      = 2
+	exitTimeout    = 3
+	exitMalformed  = 4
+	exitDegenerate = 5
+)
+
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dpplace: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+// classify maps a pipeline error to its exit code.
+func classify(err error) int {
+	switch {
+	case errors.Is(err, core.ErrTimeout):
+		return exitTimeout
+	case errors.Is(err, core.ErrMalformedInput):
+		return exitMalformed
+	case errors.Is(err, core.ErrDegenerateGroups):
+		return exitDegenerate
+	default:
+		return exitError
+	}
+}
+
 func main() {
 	mode := flag.String("mode", "structure-aware", "placement mode: structure-aware or baseline")
 	model := flag.String("model", "wa", "smooth wirelength model: wa or lse")
@@ -27,21 +68,25 @@ func main() {
 	outSVG := flag.String("svg", "", "render the final placement to this SVG path")
 	outer := flag.Int("outer", 24, "max outer (λ-schedule) iterations")
 	inner := flag.Int("inner", 50, "conjugate-gradient iterations per stage")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
+	onDegrade := flag.String("on-degrade", "fallback",
+		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dpplace [flags] design.aux")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	d, err := bookshelf.ReadAux(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fatal(classify(err), "%v", err)
 	}
 	if d.Core == nil {
-		log.Fatal("dpplace: design has no .scl row definition")
+		fatal(exitMalformed, "design has no .scl row definition")
 	}
 
 	opt := core.Options{
+		Timeout: *timeout,
 		Global: global.Options{
 			WLModel:       *model,
 			MaxOuterIters: *outer,
@@ -54,57 +99,92 @@ func main() {
 	case "baseline":
 		opt.Mode = core.Baseline
 	default:
-		log.Fatalf("dpplace: unknown mode %q", *mode)
+		fatal(exitUsage, "unknown mode %q", *mode)
+	}
+	switch *onDegrade {
+	case "fallback":
+		opt.OnDegrade = core.DegradeFallback
+	case "fail":
+		opt.OnDegrade = core.DegradeFail
+	default:
+		fatal(exitUsage, "unknown -on-degrade policy %q", *onDegrade)
 	}
 
 	res, err := core.Place(d.Netlist, d.Core, d.Placement, opt)
-	if err != nil {
-		log.Fatal(err)
+	if err != nil && res == nil {
+		fatal(classify(err), "%v", err)
 	}
-	rep := metrics.Evaluate(d.Netlist, res.Placement, d.Core, metrics.Options{})
 
 	fmt.Printf("mode:            %s\n", opt.Mode)
 	if res.Extraction != nil {
 		fmt.Printf("groups:          %d (%d cells)\n", len(res.Extraction.Groups), res.GroupedCells)
 	}
 	fmt.Printf("HPWL global:     %.0f\n", res.HPWLGlobal)
-	fmt.Printf("HPWL legal:      %.0f\n", res.HPWLLegal)
-	fmt.Printf("HPWL final:      %.0f\n", res.HPWLFinal)
-	fmt.Printf("StWL final:      %.0f\n", rep.SteinerWL)
-	fmt.Printf("congestion ACE5: %.2f\n", rep.Congestion.ACE5)
+	if res.LegalityChecked {
+		fmt.Printf("HPWL legal:      %.0f\n", res.HPWLLegal)
+		fmt.Printf("HPWL final:      %.0f\n", res.HPWLFinal)
+		rep := metrics.Evaluate(d.Netlist, res.Placement, d.Core, metrics.Options{})
+		fmt.Printf("StWL final:      %.0f\n", rep.SteinerWL)
+		fmt.Printf("congestion ACE5: %.2f\n", rep.Congestion.ACE5)
+	}
 	fmt.Printf("time:            %.2fs (extract %.2fs, global %.2fs, legal %.2fs, detail %.2fs)\n",
 		res.Times.Total().Seconds(), res.Times.Extract.Seconds(),
 		res.Times.Global.Seconds(), res.Times.Legalize.Seconds(), res.Times.Detail.Seconds())
 
-	if *outSVG != "" {
-		f, err := os.Create(*outSVG)
-		if err != nil {
-			log.Fatal(err)
+	diag := res.GlobalResult.Diagnostics
+	if diag.Recoveries > 0 || diag.Rollbacks > 0 || diag.ReAnneals > 0 {
+		fmt.Printf("recoveries:      %d solver, %d rollbacks, %d re-anneals\n",
+			diag.Recoveries, diag.Rollbacks, diag.ReAnneals)
+	}
+	for _, deg := range res.Degradations {
+		if deg.Group >= 0 {
+			fmt.Printf("degraded:        %s group %d: %s\n", deg.Stage, deg.Group, deg.Reason)
+		} else {
+			fmt.Printf("degraded:        %s: %s\n", deg.Stage, deg.Reason)
 		}
-		if err := viz.WriteSVG(f, d.Netlist, res.Placement, d.Core, viz.Options{
+	}
+	if res.Partial {
+		fmt.Printf("partial:         pipeline stopped at the deadline\n")
+	}
+
+	if *outSVG != "" {
+		f, ferr := os.Create(*outSVG)
+		if ferr != nil {
+			fatal(exitError, "%v", ferr)
+		}
+		if werr := viz.WriteSVG(f, d.Netlist, res.Placement, d.Core, viz.Options{
 			Extraction: res.Extraction,
 			Title:      fmt.Sprintf("%s — %s, HPWL %.0f", d.Netlist.Name, opt.Mode, res.HPWLFinal),
-		}); err != nil {
+		}); werr != nil {
 			f.Close()
-			log.Fatal(err)
+			fatal(exitError, "%v", werr)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if cerr := f.Close(); cerr != nil {
+			fatal(exitError, "%v", cerr)
 		}
 		fmt.Printf("svg:             %s\n", *outSVG)
 	}
+	// A partial placement is only written when it is known legal — never
+	// hand a corrupt .pl to downstream tools.
 	if *outPl != "" {
-		f, err := os.Create(*outPl)
-		if err != nil {
-			log.Fatal(err)
+		if res.Partial && !res.LegalityChecked {
+			fmt.Fprintf(os.Stderr, "dpplace: partial result is not legal; not writing %s\n", *outPl)
+		} else {
+			f, ferr := os.Create(*outPl)
+			if ferr != nil {
+				fatal(exitError, "%v", ferr)
+			}
+			if werr := bookshelf.WritePl(f, d.Netlist, res.Placement); werr != nil {
+				f.Close()
+				fatal(exitError, "%v", werr)
+			}
+			if cerr := f.Close(); cerr != nil {
+				fatal(exitError, "%v", cerr)
+			}
+			fmt.Printf("placement:       %s\n", *outPl)
 		}
-		if err := bookshelf.WritePl(f, d.Netlist, res.Placement); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("placement:       %s\n", *outPl)
+	}
+	if err != nil {
+		fatal(classify(err), "%v", err)
 	}
 }

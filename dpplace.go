@@ -13,6 +13,7 @@
 package dpplace
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bookshelf"
@@ -33,6 +34,12 @@ type (
 	Result = core.Result
 	// Mode selects baseline or structure-aware placement.
 	Mode = core.Mode
+	// DegradePolicy selects the reaction to degenerate datapath groups.
+	DegradePolicy = core.DegradePolicy
+	// Degradation records one graceful-degradation event of a run.
+	Degradation = core.Degradation
+	// StageTimes carries optional per-stage wall-clock budgets.
+	StageTimes = core.StageTimes
 
 	// Netlist is the design hypergraph.
 	Netlist = netlist.Netlist
@@ -70,6 +77,26 @@ const (
 	StructureAware = core.StructureAware
 )
 
+// Degradation policies.
+const (
+	// DegradeFallback places problematic groups as plain cells (default).
+	DegradeFallback = core.DegradeFallback
+	// DegradeFail aborts with ErrDegenerateGroups instead.
+	DegradeFail = core.DegradeFail
+)
+
+// Sentinel errors of the pipeline, for errors.Is classification.
+var (
+	// ErrTimeout marks results cut short by a deadline or budget.
+	ErrTimeout = core.ErrTimeout
+	// ErrDiverged marks solves abandoned after repeated numerical failure.
+	ErrDiverged = core.ErrDiverged
+	// ErrDegenerateGroups marks unusable extracted groups under DegradeFail.
+	ErrDegenerateGroups = core.ErrDegenerateGroups
+	// ErrMalformedInput marks rejected input files.
+	ErrMalformedInput = core.ErrMalformedInput
+)
+
 // Datapath unit archetypes for the benchmark generator.
 const (
 	Adder   = gen.Adder
@@ -81,6 +108,13 @@ const (
 // Place runs the full placement pipeline; see core.Place.
 func Place(nl *Netlist, chip *Core, initial *Placement, opt Options) (*Result, error) {
 	return core.Place(nl, chip, initial, opt)
+}
+
+// PlaceCtx is Place with cooperative cancellation; see core.PlaceCtx. On
+// deadline expiry the returned Result is non-nil, carries the best iterate
+// found with Partial set, and the error wraps ErrTimeout.
+func PlaceCtx(ctx context.Context, nl *Netlist, chip *Core, initial *Placement, opt Options) (*Result, error) {
+	return core.PlaceCtx(ctx, nl, chip, initial, opt)
 }
 
 // Generate builds a synthetic datapath-intensive benchmark; see gen.Generate.

@@ -6,20 +6,38 @@
 // Offset convention: Bookshelf pin offsets are relative to the cell center;
 // the in-memory netlist stores offsets from the cell's lower-left corner.
 // Readers and writers convert between the two.
+//
+// Readers are hardened against hostile input: declared header counts are
+// capped against the bytes actually available before any allocation, sizes
+// and coordinates must be finite, and every format violation wraps
+// ErrMalformedInput so callers can classify with errors.Is.
 package bookshelf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 )
+
+// ErrMalformedInput is wrapped by every reader error caused by the input
+// stream (as opposed to I/O failures). Alias of pipeline.ErrMalformedInput.
+var ErrMalformedInput = pipeline.ErrMalformedInput
+
+// malf builds a malformed-input error anchored to a line number.
+func malf(num int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s: %w", num, fmt.Sprintf(format, args...), ErrMalformedInput)
+}
 
 // Design bundles everything a Bookshelf benchmark describes.
 type Design struct {
@@ -38,6 +56,7 @@ func ReadAux(path string) (*Design, error) {
 
 	var nodes, nets, pl, scl string
 	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -61,10 +80,11 @@ func ReadAux(path string) (*Design, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bookshelf: reading %s: %w", path, err)
+		return nil, fmt.Errorf("bookshelf: reading %s: %w", path, scanErr(err))
 	}
 	if nodes == "" || nets == "" {
-		return nil, fmt.Errorf("bookshelf: %s does not reference .nodes and .nets files", path)
+		return nil, fmt.Errorf("bookshelf: %s does not reference .nodes and .nets files: %w",
+			path, ErrMalformedInput)
 	}
 	dir := filepath.Dir(path)
 	name := strings.TrimSuffix(filepath.Base(path), ".aux")
@@ -98,10 +118,28 @@ func ReadAux(path string) (*Design, error) {
 		}
 	}
 	if err := nl.Validate(); err != nil {
-		return nil, fmt.Errorf("bookshelf: %s: %w", path, err)
+		return nil, fmt.Errorf("bookshelf: %s: %v: %w", path, err, ErrMalformedInput)
 	}
 	return d, nil
 }
+
+// sizedReader pairs a stream with the number of bytes known to remain, so
+// readers can sanity-check declared record counts before allocating.
+type sizedReader struct {
+	r io.Reader
+	n int64 // bytes remaining, or -1 when unknown
+}
+
+func (s *sizedReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if s.n >= 0 {
+		s.n -= int64(n)
+	}
+	return n, err
+}
+
+// Remaining returns the bytes left in the stream, or -1 when unknown.
+func (s *sizedReader) Remaining() int64 { return s.n }
 
 func readFileInto(path string, fn func(io.Reader) error) error {
 	f, err := os.Open(path)
@@ -109,10 +147,31 @@ func readFileInto(path string, fn func(io.Reader) error) error {
 		return fmt.Errorf("bookshelf: %w", err)
 	}
 	defer f.Close()
-	if err := fn(bufio.NewReader(f)); err != nil {
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	var r io.Reader = f
+	if size > 0 {
+		// Fault injection: simulate a file cut off mid-record.
+		cut := faultinject.TruncatedReader(faultinject.SiteBookshelfTruncate, r, (size+1)/2)
+		if cut != r {
+			r, size = cut, (size+1)/2
+		}
+	}
+	if err := fn(&sizedReader{r: r, n: size}); err != nil {
 		return fmt.Errorf("bookshelf: %s: %w", path, err)
 	}
 	return nil
+}
+
+// scanErr classifies scanner failures: an over-long token is an input
+// problem, not an I/O one.
+func scanErr(err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%v: %w", err, ErrMalformedInput)
+	}
+	return err
 }
 
 // lineScanner yields non-empty, comment-stripped lines with their numbers.
@@ -120,12 +179,20 @@ type lineScanner struct {
 	sc   *bufio.Scanner
 	line string
 	num  int
+	size int64 // stream size at construction, or -1 when unknown
 }
 
 func newLineScanner(r io.Reader) *lineScanner {
+	size := int64(-1)
+	switch v := r.(type) {
+	case interface{ Remaining() int64 }:
+		size = v.Remaining()
+	case interface{ Len() int }: // strings.Reader, bytes.Reader, bytes.Buffer
+		size = int64(v.Len())
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	return &lineScanner{sc: sc}
+	return &lineScanner{sc: sc, size: size}
 }
 
 func (ls *lineScanner) next() bool {
@@ -145,7 +212,7 @@ func (ls *lineScanner) next() bool {
 	return false
 }
 
-func (ls *lineScanner) err() error { return ls.sc.Err() }
+func (ls *lineScanner) err() error { return scanErr(ls.sc.Err()) }
 
 // headerValue parses "Key : value" lines, returning ok=false when the line
 // does not start with key.
@@ -159,27 +226,74 @@ func headerValue(line, key string) (string, bool) {
 	return strings.TrimSpace(rest), true
 }
 
+// headerCount parses a declared count header, rejecting negatives.
+func headerCount(num int, key, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, malf(num, "bad %s %q", key, v)
+	}
+	return n, nil
+}
+
+// capCount bounds a declared record count by the bytes actually available
+// (at minBytes per record), so a hostile header cannot force a huge
+// allocation. With an unknown stream size a fixed cap applies.
+func capCount(declared int, size int64, minBytes int64) int {
+	const fallback = 1 << 20
+	if declared <= 0 {
+		return 0
+	}
+	limit := int64(fallback)
+	if size >= 0 {
+		limit = size/minBytes + 1
+	}
+	if int64(declared) > limit {
+		return int(limit)
+	}
+	return declared
+}
+
+// finiteSize reports whether v is a usable cell dimension.
+func finiteSize(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0)
+}
+
 // ReadNodes parses a .nodes stream into nl.
 func ReadNodes(r io.Reader, nl *netlist.Netlist) error {
 	ls := newLineScanner(r)
+	start := nl.NumCells()
+	declared := -1
 	for ls.next() {
-		if _, ok := headerValue(ls.line, "NumNodes"); ok {
+		if v, ok := headerValue(ls.line, "NumNodes"); ok {
+			n, err := headerCount(ls.num, "NumNodes", v)
+			if err != nil {
+				return err
+			}
+			declared = n
+			// "a 1 1\n" is the shortest conceivable node record.
+			nl.Reserve(capCount(n, ls.size, 6), 0, 0)
 			continue
 		}
-		if _, ok := headerValue(ls.line, "NumTerminals"); ok {
+		if v, ok := headerValue(ls.line, "NumTerminals"); ok {
+			if _, err := headerCount(ls.num, "NumTerminals", v); err != nil {
+				return err
+			}
 			continue
 		}
 		fields := strings.Fields(ls.line)
 		if len(fields) < 3 {
-			return fmt.Errorf("line %d: malformed node %q", ls.num, ls.line)
+			return malf(ls.num, "malformed node %q", ls.line)
 		}
 		w, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad width %q", ls.num, fields[1])
+			return malf(ls.num, "bad width %q", fields[1])
 		}
 		h, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad height %q", ls.num, fields[2])
+			return malf(ls.num, "bad height %q", fields[2])
+		}
+		if !finiteSize(w) || !finiteSize(h) {
+			return malf(ls.num, "node %q has invalid size %gx%g", fields[0], w, h)
 		}
 		fixed := len(fields) > 3 && strings.EqualFold(fields[3], "terminal")
 		typ := "STD"
@@ -187,15 +301,24 @@ func ReadNodes(r io.Reader, nl *netlist.Netlist) error {
 			typ = "TERM"
 		}
 		if _, err := nl.AddCell(fields[0], typ, w, h, fixed); err != nil {
-			return fmt.Errorf("line %d: %w", ls.num, err)
+			return malf(ls.num, "%s", err)
 		}
 	}
-	return ls.err()
+	if err := ls.err(); err != nil {
+		return err
+	}
+	if declared >= 0 && nl.NumCells()-start != declared {
+		return fmt.Errorf("NumNodes promises %d nodes, stream holds %d (truncated file?): %w",
+			declared, nl.NumCells()-start, ErrMalformedInput)
+	}
+	return nil
 }
 
 // ReadNets parses a .nets stream into nl, which must already hold the cells.
 func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 	ls := newLineScanner(r)
+	startNets, startPins := nl.NumNets(), nl.NumPins()
+	declaredNets, declaredPins := -1, -1
 	netCount := 0
 	var pending []netlist.Endpoint
 	var pendingName string
@@ -206,10 +329,11 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 			return nil
 		}
 		if pendingLeft != 0 {
-			return fmt.Errorf("net %q: expected %d more pins", pendingName, pendingLeft)
+			return fmt.Errorf("net %q: expected %d more pins (truncated file?): %w",
+				pendingName, pendingLeft, ErrMalformedInput)
 		}
 		if _, err := nl.AddNet(pendingName, 1, pending...); err != nil {
-			return err
+			return fmt.Errorf("%v: %w", err, ErrMalformedInput)
 		}
 		pendingName = ""
 		pending = nil
@@ -217,10 +341,23 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 	}
 
 	for ls.next() {
-		if _, ok := headerValue(ls.line, "NumNets"); ok {
+		if v, ok := headerValue(ls.line, "NumNets"); ok {
+			n, err := headerCount(ls.num, "NumNets", v)
+			if err != nil {
+				return err
+			}
+			declaredNets = n
+			// A net costs at least a NetDegree line plus one pin line.
+			nl.Reserve(0, capCount(n, ls.size, 16), 0)
 			continue
 		}
-		if _, ok := headerValue(ls.line, "NumPins"); ok {
+		if v, ok := headerValue(ls.line, "NumPins"); ok {
+			n, err := headerCount(ls.num, "NumPins", v)
+			if err != nil {
+				return err
+			}
+			declaredPins = n
+			nl.Reserve(0, 0, capCount(n, ls.size, 4))
 			continue
 		}
 		if v, ok := headerValue(ls.line, "NetDegree"); ok {
@@ -229,11 +366,11 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 			}
 			fields := strings.Fields(v)
 			if len(fields) == 0 {
-				return fmt.Errorf("line %d: NetDegree missing count", ls.num)
+				return malf(ls.num, "NetDegree missing count")
 			}
 			deg, err := strconv.Atoi(fields[0])
-			if err != nil {
-				return fmt.Errorf("line %d: bad NetDegree %q", ls.num, fields[0])
+			if err != nil || deg < 1 {
+				return malf(ls.num, "bad NetDegree %q", fields[0])
 			}
 			pendingLeft = deg
 			if len(fields) > 1 {
@@ -246,15 +383,15 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 		}
 		// Pin line: "cellname I : dx dy" (offsets optional).
 		if pendingName == "" {
-			return fmt.Errorf("line %d: pin line outside a net: %q", ls.num, ls.line)
+			return malf(ls.num, "pin line outside a net: %q", ls.line)
 		}
 		fields := strings.Fields(strings.ReplaceAll(ls.line, ":", " "))
 		if len(fields) < 2 {
-			return fmt.Errorf("line %d: malformed pin %q", ls.num, ls.line)
+			return malf(ls.num, "malformed pin %q", ls.line)
 		}
 		cid := nl.CellByName(fields[0])
 		if cid == netlist.NoCell {
-			return fmt.Errorf("line %d: unknown cell %q", ls.num, fields[0])
+			return malf(ls.num, "unknown cell %q", fields[0])
 		}
 		var dir netlist.Dir
 		switch strings.ToUpper(fields[1]) {
@@ -269,10 +406,13 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 		if len(fields) >= 4 {
 			var err error
 			if dx, err = strconv.ParseFloat(fields[2], 64); err != nil {
-				return fmt.Errorf("line %d: bad pin offset %q", ls.num, fields[2])
+				return malf(ls.num, "bad pin offset %q", fields[2])
 			}
 			if dy, err = strconv.ParseFloat(fields[3], 64); err != nil {
-				return fmt.Errorf("line %d: bad pin offset %q", ls.num, fields[3])
+				return malf(ls.num, "bad pin offset %q", fields[3])
+			}
+			if math.IsNaN(dx) || math.IsInf(dx, 0) || math.IsNaN(dy) || math.IsInf(dy, 0) {
+				return malf(ls.num, "non-finite pin offset (%g,%g)", dx, dy)
 			}
 		}
 		// Optional 5th token: pin name (academic extension). Without it,
@@ -296,7 +436,18 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	return ls.err()
+	if err := ls.err(); err != nil {
+		return err
+	}
+	if declaredNets >= 0 && nl.NumNets()-startNets != declaredNets {
+		return fmt.Errorf("NumNets promises %d nets, stream holds %d (truncated file?): %w",
+			declaredNets, nl.NumNets()-startNets, ErrMalformedInput)
+	}
+	if declaredPins >= 0 && nl.NumPins()-startPins != declaredPins {
+		return fmt.Errorf("NumPins promises %d pins, stream holds %d (truncated file?): %w",
+			declaredPins, nl.NumPins()-startPins, ErrMalformedInput)
+	}
+	return nil
 }
 
 // ReadPl parses a .pl stream into pl. Cells marked /FIXED become fixed in nl.
@@ -305,19 +456,22 @@ func ReadPl(r io.Reader, nl *netlist.Netlist, pl *netlist.Placement) error {
 	for ls.next() {
 		fields := strings.Fields(ls.line)
 		if len(fields) < 3 {
-			return fmt.Errorf("line %d: malformed placement %q", ls.num, ls.line)
+			return malf(ls.num, "malformed placement %q", ls.line)
 		}
 		cid := nl.CellByName(fields[0])
 		if cid == netlist.NoCell {
-			return fmt.Errorf("line %d: unknown cell %q", ls.num, fields[0])
+			return malf(ls.num, "unknown cell %q", fields[0])
 		}
 		x, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad x %q", ls.num, fields[1])
+			return malf(ls.num, "bad x %q", fields[1])
 		}
 		y, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
-			return fmt.Errorf("line %d: bad y %q", ls.num, fields[2])
+			return malf(ls.num, "bad y %q", fields[2])
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return malf(ls.num, "non-finite position (%g,%g) for %q", x, y, fields[0])
 		}
 		pl.X[cid] = x
 		pl.Y[cid] = y
@@ -352,28 +506,28 @@ func ReadScl(r io.Reader) (*geom.Core, error) {
 			// Row attribute lines may carry several "Key : value" pairs.
 			if v, ok := headerValue(ls.line, "Coordinate"); ok {
 				if _, err := fmt.Sscan(v, &cur.Y); err != nil {
-					return nil, fmt.Errorf("line %d: bad Coordinate %q", ls.num, v)
+					return nil, malf(ls.num, "bad Coordinate %q", v)
 				}
 			} else if v, ok := headerValue(ls.line, "Height"); ok {
 				if _, err := fmt.Sscan(v, &cur.H); err != nil {
-					return nil, fmt.Errorf("line %d: bad Height %q", ls.num, v)
+					return nil, malf(ls.num, "bad Height %q", v)
 				}
 			} else if v, ok := headerValue(ls.line, "Sitewidth"); ok {
 				if _, err := fmt.Sscan(v, &cur.SiteW); err != nil {
-					return nil, fmt.Errorf("line %d: bad Sitewidth %q", ls.num, v)
+					return nil, malf(ls.num, "bad Sitewidth %q", v)
 				}
 			} else if v, ok := headerValue(ls.line, "SubrowOrigin"); ok {
 				// "SubrowOrigin : x NumSites : n"
 				fields := strings.Fields(strings.ReplaceAll(v, ":", " "))
 				if len(fields) >= 1 {
 					if _, err := fmt.Sscan(fields[0], &cur.X); err != nil {
-						return nil, fmt.Errorf("line %d: bad SubrowOrigin %q", ls.num, v)
+						return nil, malf(ls.num, "bad SubrowOrigin %q", v)
 					}
 				}
 				for i := 0; i+1 < len(fields); i++ {
 					if strings.EqualFold(fields[i], "NumSites") {
 						if _, err := fmt.Sscan(fields[i+1], &numSites); err != nil {
-							return nil, fmt.Errorf("line %d: bad NumSites %q", ls.num, fields[i+1])
+							return nil, malf(ls.num, "bad NumSites %q", fields[i+1])
 						}
 					}
 				}
@@ -384,7 +538,14 @@ func ReadScl(r io.Reader) (*geom.Core, error) {
 		return nil, err
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("scl: no rows found")
+		return nil, fmt.Errorf("scl: no rows found: %w", ErrMalformedInput)
+	}
+	for i := range rows {
+		if !finiteSize(rows[i].H) || !finiteSize(rows[i].W) ||
+			math.IsNaN(rows[i].X) || math.IsInf(rows[i].X, 0) ||
+			math.IsNaN(rows[i].Y) || math.IsInf(rows[i].Y, 0) {
+			return nil, fmt.Errorf("scl: row %d has non-finite geometry: %w", i, ErrMalformedInput)
+		}
 	}
 	var bb geom.BBox
 	for _, row := range rows {

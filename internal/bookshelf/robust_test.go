@@ -1,6 +1,7 @@
 package bookshelf
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -117,5 +118,113 @@ End
 	}
 	if core.Rows[1].H != 20 || core.Rows[1].SiteW != 2 || core.Rows[1].X != 5 || core.Rows[1].W != 60 {
 		t.Errorf("row[1] = %+v", core.Rows[1])
+	}
+}
+
+// Hostile-input hardening: every rejection below must wrap ErrMalformedInput
+// so callers can classify, and none may panic or over-allocate.
+
+func TestReadNodesRejectsInvalidSizes(t *testing.T) {
+	for _, bad := range []string{
+		"a NaN 10\n",
+		"a 2 NaN\n",
+		"a Inf 10\n",
+		"a 2 -Inf\n",
+		"a 0 10\n",
+		"a -3 10\n",
+	} {
+		nl := netlist.New("q")
+		err := ReadNodes(strings.NewReader(bad), nl)
+		if err == nil {
+			t.Errorf("accepted %q", bad)
+			continue
+		}
+		if !errors.Is(err, ErrMalformedInput) {
+			t.Errorf("%q: error %v does not wrap ErrMalformedInput", bad, err)
+		}
+	}
+}
+
+func TestReadNodesRejectsBadHeaders(t *testing.T) {
+	for _, bad := range []string{
+		"NumNodes : -5\n",
+		"NumNodes : x\n",
+		"NumTerminals : -1\n",
+	} {
+		nl := netlist.New("q")
+		if err := ReadNodes(strings.NewReader(bad), nl); !errors.Is(err, ErrMalformedInput) {
+			t.Errorf("%q: err = %v, want ErrMalformedInput", bad, err)
+		}
+	}
+}
+
+// A header promising vastly more records than the stream can hold must not
+// drive allocation: the count is capped by the remaining byte count.
+func TestReadNodesHeaderCountCapped(t *testing.T) {
+	text := "NumNodes : 2000000000\na 2 10\n"
+	nl := netlist.New("q")
+	err := ReadNodes(strings.NewReader(text), nl)
+	// The count mismatch is itself malformed input; what matters here is
+	// that we got to the check without a 2-billion-entry allocation.
+	if !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("err = %v, want ErrMalformedInput", err)
+	}
+	if cap(nl.Cells) > 1024 {
+		t.Errorf("cap(Cells) = %d; header-driven over-allocation", cap(nl.Cells))
+	}
+}
+
+// Declared-versus-actual count checks are the truncation detector: a file
+// cut between records parses cleanly line-by-line but fails the totals.
+func TestReadNodesDetectsTruncation(t *testing.T) {
+	text := "NumNodes : 3\na 2 10\nb 3 10\n" // third node missing
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader(text), nl); !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("err = %v, want ErrMalformedInput", err)
+	}
+}
+
+func TestReadNetsDetectsTruncation(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\nb 3 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	// Net cut off mid-record: degree 2 declared, one pin present.
+	text := "NetDegree : 2 n\na O : 0 0\n"
+	if err := ReadNets(strings.NewReader(text), nl); !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("err = %v, want ErrMalformedInput", err)
+	}
+	// Totals mismatch: NumNets promises two, file holds one.
+	nl2 := netlist.New("q2")
+	if err := ReadNodes(strings.NewReader("a 2 10\nb 3 10\n"), nl2); err != nil {
+		t.Fatal(err)
+	}
+	text = "NumNets : 2\nNumPins : 2\nNetDegree : 2 n\na O : 0 0\nb I : 0 0\n"
+	if err := ReadNets(strings.NewReader(text), nl2); !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("totals: err = %v, want ErrMalformedInput", err)
+	}
+}
+
+func TestReadNetsRejectsNonFiniteOffsets(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\nb 3 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	text := "NetDegree : 2 n\na O : NaN 0\nb I : 0 0\n"
+	if err := ReadNets(strings.NewReader(text), nl); !errors.Is(err, ErrMalformedInput) {
+		t.Fatalf("err = %v, want ErrMalformedInput", err)
+	}
+}
+
+func TestReadPlRejectsNonFinitePositions(t *testing.T) {
+	nl := netlist.New("q")
+	if err := ReadNodes(strings.NewReader("a 2 10\n"), nl); err != nil {
+		t.Fatal(err)
+	}
+	pl := netlist.NewPlacement(nl)
+	for _, bad := range []string{"a NaN 0 : N\n", "a 0 Inf : N\n"} {
+		if err := ReadPl(strings.NewReader(bad), nl, pl); !errors.Is(err, ErrMalformedInput) {
+			t.Errorf("%q: err = %v, want ErrMalformedInput", bad, err)
+		}
 	}
 }

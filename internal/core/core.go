@@ -7,18 +7,38 @@
 // Baseline mode runs the identical engine with extraction and alignment
 // disabled, so measured differences isolate structure-awareness — the
 // evaluation protocol of the paper.
+//
+// The pipeline is resilient. Wall-clock budgets (whole-flow and per-stage)
+// are enforced cooperatively; on expiry Place returns the best iterate found
+// so far with Result.Partial set and an error wrapping pipeline.ErrTimeout,
+// instead of nothing. Degenerate extraction output and repeatedly diverging
+// structure-aware solves degrade gracefully to the baseline flow for the
+// affected groups (policy-controlled via Options.OnDegrade), recording what
+// happened in Result.Degradations.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/datapath"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 	"repro/internal/place/detail"
 	"repro/internal/place/global"
 	"repro/internal/place/legal"
+)
+
+// Sentinel errors re-exported for callers that branch on failure class.
+var (
+	ErrTimeout          = pipeline.ErrTimeout
+	ErrDiverged         = pipeline.ErrDiverged
+	ErrDegenerateGroups = pipeline.ErrDegenerateGroups
+	ErrMalformedInput   = pipeline.ErrMalformedInput
 )
 
 // Mode selects the flow variant.
@@ -39,6 +59,20 @@ func (m Mode) String() string {
 	return "baseline"
 }
 
+// DegradePolicy selects what happens when the structure-aware machinery
+// cannot honor the extracted structure.
+type DegradePolicy int
+
+// Degradation policies.
+const (
+	// DegradeFallback (the default) falls back to the baseline flow for the
+	// affected groups and records the event in Result.Degradations.
+	DegradeFallback DegradePolicy = iota
+	// DegradeFail aborts with ErrDegenerateGroups (or the stage error)
+	// instead of degrading.
+	DegradeFail
+)
+
 // Options configures the pipeline.
 type Options struct {
 	Mode Mode
@@ -52,9 +86,24 @@ type Options struct {
 	DetailPasses int
 	// SkipLegalize stops after global placement (for convergence studies).
 	SkipLegalize bool
+	// Timeout bounds the whole pipeline's wall clock (0 = none). On expiry
+	// Place returns the best iterate so far with Result.Partial set and an
+	// error wrapping ErrTimeout.
+	Timeout time.Duration
+	// Budgets optionally bounds individual stages the same way (zero fields
+	// = unbounded). Global, legalization and detailed placement are
+	// preempted cooperatively inside their iteration loops; extraction is
+	// checked at the stage boundary.
+	Budgets StageTimes
+	// OnDegrade selects the reaction to degenerate extracted groups and to
+	// a structure-aware solve that repeatedly fails numerical-health checks
+	// (default DegradeFallback).
+	OnDegrade DegradePolicy
 }
 
-// StageTimes records wall-clock time per pipeline stage.
+// StageTimes records a wall-clock duration per pipeline stage. It is used
+// both for reporting elapsed times (Result.Times) and for configuring stage
+// budgets (Options.Budgets).
 type StageTimes struct {
 	Extract  time.Duration
 	Global   time.Duration
@@ -65,6 +114,14 @@ type StageTimes struct {
 // Total returns the summed stage time.
 func (s StageTimes) Total() time.Duration {
 	return s.Extract + s.Global + s.Legalize + s.Detail
+}
+
+// Degradation records one graceful-degradation event: a piece of extracted
+// structure the pipeline dropped or dissolved instead of failing.
+type Degradation struct {
+	Stage  string // "extract", "global" or "legalize"
+	Group  int    // group index at the failing stage; -1 = whole flow
+	Reason string
 }
 
 // Result is the pipeline outcome.
@@ -83,15 +140,32 @@ type Result struct {
 	GroupedCells    int
 	Times           StageTimes
 	LegalityChecked bool
+	// Partial is set when a deadline stopped the pipeline early; Placement
+	// holds the best iterate reached (legal only if LegalityChecked).
+	Partial bool
+	// Degradations lists the graceful-degradation events of the run.
+	Degradations []Degradation
 }
 
 // Place runs the pipeline on a netlist. initial provides fixed-cell
 // positions and the starting point for movables; it is not modified. The
 // returned placement is legal (unless SkipLegalize).
 func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt Options) (*Result, error) {
+	return PlaceCtx(context.Background(), nl, chip, initial, opt)
+}
+
+// PlaceCtx is Place with cooperative cancellation: the context (further
+// bounded by Options.Timeout and Options.Budgets) is threaded through every
+// stage down to the inner solver iterations. On expiry the returned Result
+// is non-nil, carries the best iterate found so far with Partial set, and
+// the error wraps ErrTimeout.
+func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt Options) (*Result, error) {
 	if opt.DetailPasses == 0 {
 		opt.DetailPasses = 2
 	}
+	ctx, cancel := pipeline.WithBudget(ctx, opt.Timeout)
+	defer cancel()
+
 	pl := initial.Clone()
 	res := &Result{Placement: pl}
 
@@ -108,6 +182,11 @@ func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt
 		res.GroupedCells = ext.NumGrouped()
 		groups = global.AlignGroupsFromExtraction(ext)
 	}
+	if pipeline.Expired(ctx) {
+		res.Partial = true
+		res.HPWLFinal = pl.HPWL(nl)
+		return res, pipeline.StageError("core: extract", ErrTimeout)
+	}
 
 	gOpt := opt.Global
 	if len(groups) > 0 && !gOpt.SkipQuadraticInit {
@@ -122,14 +201,65 @@ func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt
 		// unnecessarily costs wirelength.
 		groups = global.SplitWideGroups(nl, pl, chip, groups, 0.95)
 	}
+
+	// Degenerate-group screen: structure the placer cannot honor (no
+	// stages, taller than the core, wider than the core even after bank
+	// folding) either fails fast or falls back to baseline treatment for
+	// just those cells.
+	if len(groups) > 0 {
+		kept := groups[:0]
+		for gi, g := range groups {
+			reason := degenerateReason(nl, chip, g)
+			if reason == "" {
+				kept = append(kept, g)
+				continue
+			}
+			if opt.OnDegrade == DegradeFail {
+				return nil, fmt.Errorf("core: extraction: group %d: %s: %w", gi, reason, ErrDegenerateGroups)
+			}
+			res.Degradations = append(res.Degradations, Degradation{
+				Stage: "extract", Group: gi, Reason: reason,
+			})
+		}
+		groups = kept
+	}
+
 	gOpt.Groups = groups
+	gctx, gcancel := pipeline.WithBudget(ctx, opt.Budgets.Global)
 	t0 := time.Now()
-	gRes, err := global.Place(nl, pl, chip, gOpt)
+	gRes, err := global.PlaceCtx(gctx, nl, pl, chip, gOpt)
+	gcancel()
+	res.Times.Global = time.Since(t0)
+	if err != nil && errors.Is(err, ErrDiverged) && len(groups) > 0 && opt.OnDegrade == DegradeFallback {
+		// The structure-aware solve failed its health checks twice (the
+		// engine already rolled back and re-annealed in between). Dissolve
+		// the groups and rerun the plain baseline formulation from the
+		// caller's initial state — a worse but well-conditioned problem.
+		res.Degradations = append(res.Degradations, Degradation{
+			Stage: "global", Group: -1,
+			Reason: "hard-alignment solve diverged twice; groups dissolved",
+		})
+		copy(pl.X, initial.X)
+		copy(pl.Y, initial.Y)
+		groups = nil
+		gOpt = opt.Global
+		gOpt.Groups = nil
+		gctx, gcancel = pipeline.WithBudget(ctx, opt.Budgets.Global)
+		t0 = time.Now()
+		gRes, err = global.PlaceCtx(gctx, nl, pl, chip, gOpt)
+		gcancel()
+		res.Times.Global += time.Since(t0)
+	}
+	res.GlobalResult = gRes
 	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			res.Partial = true
+			res.HPWLGlobal = pl.HPWL(nl)
+			res.HPWLFinal = res.HPWLGlobal
+			return res, fmt.Errorf("core: global placement: %w", err)
+		}
 		return nil, fmt.Errorf("core: global placement: %w", err)
 	}
-	res.Times.Global = time.Since(t0)
-	res.GlobalResult = gRes
 	res.HPWLGlobal = pl.HPWL(nl)
 
 	if opt.SkipLegalize {
@@ -137,27 +267,47 @@ func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt
 		return res, nil
 	}
 
+	lctx, lcancel := pipeline.WithBudget(ctx, opt.Budgets.Legalize)
 	t0 = time.Now()
-	lRes, err := legal.Legalize(nl, pl, chip, legal.Options{Groups: groups})
-	if err != nil {
-		return nil, fmt.Errorf("core: legalization: %w", err)
-	}
+	lRes, err := legal.LegalizeCtx(lctx, nl, pl, chip, legal.Options{Groups: groups})
+	lcancel()
 	res.Times.Legalize = time.Since(t0)
 	res.LegalResult = lRes
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			res.Partial = true
+			res.HPWLLegal = pl.HPWL(nl)
+			res.HPWLFinal = res.HPWLLegal
+			return res, fmt.Errorf("core: legalization: %w", err)
+		}
+		return nil, fmt.Errorf("core: legalization: %w", err)
+	}
+	if lRes.GroupFallbacks > 0 {
+		res.Degradations = append(res.Degradations, Degradation{
+			Stage: "legalize", Group: -1,
+			Reason: fmt.Sprintf("%d groups found no rigid-block fit and were dissolved into plain cells", lRes.GroupFallbacks),
+		})
+	}
 	res.HPWLLegal = pl.HPWL(nl)
 
 	if opt.DetailPasses > 0 {
+		dctx, dcancel := pipeline.WithBudget(ctx, opt.Budgets.Detail)
 		t0 = time.Now()
 		// Group cells are locked against generic moves; their stage order
 		// is optimized by the structure-preserving column swaps instead.
 		res.DetailResult = detail.Improve(nl, pl, chip, detail.Options{
 			Locked: detail.LockedFromGroups(nl.NumCells(), groups),
 			Passes: opt.DetailPasses,
+			Ctx:    dctx,
 		})
-		if len(groups) > 0 {
+		if len(groups) > 0 && !pipeline.Expired(dctx) {
 			res.ColumnSwaps = detail.ImproveColumns(nl, pl, groups, opt.DetailPasses)
 		}
+		dcancel()
 		res.Times.Detail = time.Since(t0)
+		if res.DetailResult.Partial {
+			res.Partial = true
+		}
 	}
 	res.HPWLFinal = pl.HPWL(nl)
 
@@ -175,5 +325,40 @@ func Place(nl *netlist.Netlist, chip *geom.Core, initial *netlist.Placement, opt
 		}
 		res.AlignmentRMS = global.AlignmentScore(groups, chip.RowH(), cx, cy)
 	}
+	if res.Partial {
+		// Detailed placement stopped at its deadline; the placement is
+		// legal and complete, just less polished than asked for.
+		return res, pipeline.StageError("core: detail", ErrTimeout)
+	}
 	return res, nil
+}
+
+// degenerateReason classifies a group the placer cannot honor, returning ""
+// for a healthy group. The fault-injection site forces degeneracy so the
+// fallback path can be tested on designs whose extraction is clean.
+func degenerateReason(nl *netlist.Netlist, chip *geom.Core, g global.AlignGroup) string {
+	if faultinject.Hit(faultinject.SiteDegenerateGroups) {
+		return "fault-injected degenerate group"
+	}
+	if len(g.Cols) == 0 || len(g.Cols[0]) == 0 {
+		return "zero stages"
+	}
+	bits := len(g.Cols[0])
+	if bits > chip.NumRows() {
+		return fmt.Sprintf("%d bits exceed %d core rows", bits, chip.NumRows())
+	}
+	total := 0.0
+	for _, col := range g.Cols {
+		w := 0.0
+		for _, c := range col {
+			if cw := nl.Cell(c).W; cw > w {
+				w = cw
+			}
+		}
+		total += w
+	}
+	if coreW := chip.Region.W(); total > coreW {
+		return fmt.Sprintf("packed width %.0f exceeds core width %.0f after splitting", total, coreW)
+	}
+	return ""
 }

@@ -1,0 +1,89 @@
+package core
+
+// White-box tests of the degenerate-group predicate: each rejection class
+// must be classified with a stable reason string, and healthy groups must
+// pass untouched.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place/global"
+)
+
+// degChip builds a 4-row, 100-wide core.
+func degChip() *geom.Core {
+	rows := make([]geom.Row, 4)
+	for i := range rows {
+		rows[i] = geom.Row{Y: float64(i) * 10, X: 0, W: 100, H: 10, SiteW: 1}
+	}
+	return &geom.Core{Region: geom.NewRect(0, 0, 100, 40), Rows: rows}
+}
+
+func degNetlist(t *testing.T, n int, w float64) (*netlist.Netlist, []netlist.CellID) {
+	t.Helper()
+	nl := netlist.New("deg")
+	ids := make([]netlist.CellID, n)
+	for i := range ids {
+		ids[i] = nl.MustAddCell(
+			string(rune('a'+i%26))+string(rune('0'+i/26)), "STD", w, 10, false)
+	}
+	return nl, ids
+}
+
+func TestDegenerateReasonClasses(t *testing.T) {
+	chip := degChip()
+
+	t.Run("zero stages", func(t *testing.T) {
+		nl, _ := degNetlist(t, 1, 5)
+		for _, g := range []global.AlignGroup{
+			{},
+			{Cols: [][]netlist.CellID{}},
+			{Cols: [][]netlist.CellID{{}}},
+		} {
+			if r := degenerateReason(nl, chip, g); !strings.Contains(r, "zero stages") {
+				t.Errorf("reason = %q, want zero stages", r)
+			}
+		}
+	})
+
+	t.Run("more bits than rows", func(t *testing.T) {
+		nl, ids := degNetlist(t, 6, 5)
+		g := global.AlignGroup{Cols: [][]netlist.CellID{ids[:6]}} // 6 bits, 4 rows
+		if r := degenerateReason(nl, chip, g); !strings.Contains(r, "core rows") {
+			t.Errorf("reason = %q, want row-capacity rejection", r)
+		}
+	})
+
+	t.Run("wider than core", func(t *testing.T) {
+		nl, ids := degNetlist(t, 3, 40)
+		// Three 40-wide stages pack to 120 > 100 core width.
+		g := global.AlignGroup{Cols: [][]netlist.CellID{
+			{ids[0]}, {ids[1]}, {ids[2]},
+		}}
+		if r := degenerateReason(nl, chip, g); !strings.Contains(r, "core width") {
+			t.Errorf("reason = %q, want width rejection", r)
+		}
+	})
+
+	t.Run("healthy", func(t *testing.T) {
+		nl, ids := degNetlist(t, 4, 5)
+		g := global.AlignGroup{Cols: [][]netlist.CellID{ids[:2], ids[2:4]}}
+		if r := degenerateReason(nl, chip, g); r != "" {
+			t.Errorf("healthy group rejected: %q", r)
+		}
+	})
+
+	t.Run("injected", func(t *testing.T) {
+		faultinject.Enable(1, faultinject.Spec{Site: faultinject.SiteDegenerateGroups})
+		defer faultinject.Disable()
+		nl, ids := degNetlist(t, 4, 5)
+		g := global.AlignGroup{Cols: [][]netlist.CellID{ids[:2], ids[2:4]}}
+		if r := degenerateReason(nl, chip, g); !strings.Contains(r, "fault-injected") {
+			t.Errorf("reason = %q, want injected degeneracy", r)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package faultinject provides deterministic, seeded fault injection for the
+// resilience test suite. Production code consults named sites at the points
+// where faults can physically occur (a NaN gradient, a stalled line search,
+// an exhausted deadline); tests arm a subset of sites and assert that the
+// matching recovery path fires.
+//
+// Injection is off by default and build-tag-free: when disabled, Hit is a
+// single atomic load, so shipping the sites in production code costs nothing
+// measurable. All state is process-global and mutex-guarded, safe under
+// `go test -race`.
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known fault sites. Keeping them here (rather than in the packages
+// that consult them) gives tests one import for the whole catalogue.
+const (
+	// SiteOptNaNGrad corrupts the accepted gradient inside opt.Minimize.
+	SiteOptNaNGrad = "opt/nan-grad"
+	// SiteOptLineSearchStall forces the Armijo line search to reject every
+	// trial step, simulating a pathological objective landscape.
+	SiteOptLineSearchStall = "opt/linesearch-stall"
+	// SiteDeadline makes pipeline.Expired report an exhausted deadline.
+	SiteDeadline = "pipeline/deadline"
+	// SiteDegenerateGroups makes core treat every extracted group as
+	// degenerate, driving the baseline-fallback path.
+	SiteDegenerateGroups = "core/degenerate-groups"
+	// SiteBookshelfTruncate truncates a Bookshelf input stream mid-record
+	// (used with TruncatedReader).
+	SiteBookshelfTruncate = "bookshelf/truncate"
+)
+
+// Spec arms one site. A hit is a call to Hit(site); the spec skips the first
+// After hits, then fires with probability Prob (0 means always) at most
+// Count times (0 means unlimited).
+type Spec struct {
+	Site  string
+	After int
+	Count int
+	Prob  float64
+}
+
+type siteState struct {
+	spec  Spec
+	hits  int
+	fired int
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	rng     *rand.Rand
+	sites   map[string]*siteState
+)
+
+// Enable arms the given sites with a deterministic seed, replacing any
+// previous plan. Tests should pair it with a deferred Disable.
+func Enable(seed int64, specs ...Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+	sites = make(map[string]*siteState, len(specs))
+	for _, s := range specs {
+		sites[s.Site] = &siteState{spec: s}
+	}
+	enabled.Store(len(sites) > 0)
+}
+
+// Disable turns all injection off.
+func Disable() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	rng = nil
+	enabled.Store(false)
+}
+
+// Hit reports whether the fault at site fires now, advancing its counters.
+// Disabled or unarmed sites never fire.
+func Hit(site string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := sites[site]
+	if !ok {
+		return false
+	}
+	st.hits++
+	if st.hits <= st.spec.After {
+		return false
+	}
+	if st.spec.Count > 0 && st.fired >= st.spec.Count {
+		return false
+	}
+	if st.spec.Prob > 0 && st.spec.Prob < 1 && rng.Float64() >= st.spec.Prob {
+		return false
+	}
+	st.fired++
+	return true
+}
+
+// Armed reports whether site is in the current plan, without advancing it.
+func Armed(site string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := sites[site]
+	return ok
+}
+
+// Fired returns how many times site has fired, for test assertions.
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := sites[site]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// TruncatedReader returns r truncated to n bytes when site is armed, and r
+// unchanged otherwise — the injection shape for "the input file was cut off
+// mid-record".
+func TruncatedReader(site string, r io.Reader, n int64) io.Reader {
+	if !Armed(site) {
+		return r
+	}
+	mu.Lock()
+	if st, ok := sites[site]; ok {
+		st.fired++
+	}
+	mu.Unlock()
+	return io.LimitReader(r, n)
+}

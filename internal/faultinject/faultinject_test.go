@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestDisabledNeverFires(t *testing.T) {
+	Disable()
+	for i := 0; i < 10; i++ {
+		if Hit(SiteOptNaNGrad) {
+			t.Fatal("disabled site fired")
+		}
+	}
+	if Armed(SiteOptNaNGrad) {
+		t.Fatal("disabled site armed")
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	Enable(1, Spec{Site: SiteOptNaNGrad, After: 2, Count: 3})
+	defer Disable()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Hit(SiteOptNaNGrad) {
+			fired++
+			// Fires exactly on hits 3..5.
+			if i < 2 || i > 4 {
+				t.Fatalf("fired on hit %d", i+1)
+			}
+		}
+	}
+	if fired != 3 || Fired(SiteOptNaNGrad) != 3 {
+		t.Fatalf("fired %d times (Fired=%d), want 3", fired, Fired(SiteOptNaNGrad))
+	}
+	if Hit("unarmed/site") {
+		t.Fatal("unarmed site fired")
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	count := func() int {
+		Enable(42, Spec{Site: SiteDeadline, Prob: 0.5})
+		defer Disable()
+		n := 0
+		for i := 0; i < 100; i++ {
+			if Hit(SiteDeadline) {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed produced %d then %d fires", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("prob 0.5 fired %d/100 times", a)
+	}
+}
+
+func TestTruncatedReader(t *testing.T) {
+	const text = "hello bookshelf world"
+	if got, _ := io.ReadAll(TruncatedReader(SiteBookshelfTruncate, strings.NewReader(text), 5)); string(got) != text {
+		t.Fatalf("unarmed truncation altered stream: %q", got)
+	}
+	Enable(1, Spec{Site: SiteBookshelfTruncate})
+	defer Disable()
+	got, _ := io.ReadAll(TruncatedReader(SiteBookshelfTruncate, strings.NewReader(text), 5))
+	if string(got) != "hello" {
+		t.Fatalf("armed truncation returned %q", got)
+	}
+	if Fired(SiteBookshelfTruncate) != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired(SiteBookshelfTruncate))
+	}
+}

@@ -12,6 +12,7 @@ package netlist
 
 import (
 	"fmt"
+	"math"
 )
 
 // CellID indexes a cell within a Netlist.
@@ -103,6 +104,24 @@ func New(name string) *Netlist {
 	}
 }
 
+// Reserve grows the cell/net/pin slices' capacity ahead of a bulk load.
+// Counts are hints that bound allocation, not the final sizes; readers must
+// cap hostile header counts before passing them here.
+func (nl *Netlist) Reserve(cells, nets, pins int) {
+	nl.Cells = growCap(nl.Cells, cells)
+	nl.Nets = growCap(nl.Nets, nets)
+	nl.Pins = growCap(nl.Pins, pins)
+}
+
+func growCap[T any](s []T, n int) []T {
+	if n <= cap(s)-len(s) {
+		return s
+	}
+	out := make([]T, len(s), len(s)+n)
+	copy(out, s)
+	return out
+}
+
 // NumCells returns the number of cells.
 func (nl *Netlist) NumCells() int { return len(nl.Cells) }
 
@@ -142,7 +161,8 @@ func (nl *Netlist) AddCell(name, typ string, w, h float64, fixed bool) (CellID, 
 	if _, dup := nl.cellByName[name]; dup {
 		return NoCell, fmt.Errorf("netlist: duplicate cell %q", name)
 	}
-	if w <= 0 || h <= 0 {
+	if !(w > 0) || !(h > 0) || math.IsInf(w, 0) || math.IsInf(h, 0) {
+		// !(w > 0) also rejects NaN, which w <= 0 would let through.
 		return NoCell, fmt.Errorf("netlist: cell %q has non-positive size %gx%g", name, w, h)
 	}
 	id := CellID(len(nl.Cells))

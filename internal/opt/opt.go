@@ -3,10 +3,21 @@
 // Barzilai–Borwein initial step and Armijo backtracking line search. The
 // objective is supplied as a closure so the placer can fold wirelength,
 // density and alignment terms together.
+//
+// The solver is resilient: it polls an optional context cooperatively (both
+// per iteration and per line-search trial) and runs a numerical-health guard
+// that detects NaN/Inf objectives or gradients and pathological line-search
+// stalls, recovering by rolling back to the best iterate, damping the step
+// and restarting with steepest descent. When no fault occurs the iterate
+// sequence is bit-identical to the unguarded solver.
 package opt
 
 import (
+	"context"
 	"math"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
 )
 
 // Func evaluates an objective at x, fills grad (same length as x) with its
@@ -21,15 +32,26 @@ type Options struct {
 	// Callback, when non-nil, runs after every accepted iterate; returning
 	// false stops the optimization early (used for λ-schedule hand-off).
 	Callback func(iter int, f, gradNorm float64) bool
+	// Ctx, when non-nil, is polled cooperatively at every iteration and
+	// every line-search trial; on expiry Minimize stops at the best iterate
+	// found so far and sets Result.Stopped.
+	Ctx context.Context
+	// MaxRecoveries bounds consecutive numerical-health recoveries
+	// (NaN/Inf rollback, pathological line-search reset) before Minimize
+	// gives up and reports Diverged (default 3).
+	MaxRecoveries int
 }
 
 // Result reports the optimizer outcome.
 type Result struct {
-	F         float64 // final objective value
-	Iters     int     // accepted iterations
-	GradNorm  float64 // final RMS gradient norm
-	Converged bool    // gradient tolerance reached
-	FuncEvals int     // objective evaluations including line search
+	F          float64 // final objective value
+	Iters      int     // accepted iterations
+	GradNorm   float64 // final RMS gradient norm
+	Converged  bool    // gradient tolerance reached
+	FuncEvals  int     // objective evaluations including line search
+	Stopped    bool    // context expired before convergence or MaxIter
+	Diverged   bool    // health guard exhausted MaxRecoveries
+	Recoveries int     // rollback/damping events performed by the guard
 }
 
 // Minimize runs PR+ nonlinear CG from x, overwriting x with the best iterate
@@ -48,6 +70,9 @@ func Minimize(f Func, x []float64, opt Options) Result {
 	if opt.StepInit <= 0 {
 		opt.StepInit = 1
 	}
+	if opt.MaxRecoveries <= 0 {
+		opt.MaxRecoveries = 3
+	}
 
 	g := make([]float64, n)     // current gradient
 	gPrev := make([]float64, n) // previous gradient
@@ -55,17 +80,58 @@ func Minimize(f Func, x []float64, opt Options) Result {
 	xTrial := make([]float64, n)
 	gTrial := make([]float64, n)
 
+	// Best finite iterate seen, for rollback and for the returned x.
+	bestX := make([]float64, n)
+	bestF := math.Inf(1)
+
 	res := Result{}
 	fx := f(x, g)
 	res.FuncEvals++
+	if faultinject.Hit(faultinject.SiteOptNaNGrad) {
+		g[0] = math.NaN()
+	}
 	for i := range d {
 		d[i] = -g[i]
 	}
 	gg := dot(g, g)
 	step := opt.StepInit
+	if isFinite(fx) && isFinite(gg) {
+		bestF = fx
+		copy(bestX, x)
+	}
 
+	consecutive := 0 // health recoveries since the last accepted step
 	sqrtN := math.Sqrt(float64(n))
 	for it := 0; it < opt.MaxIter; it++ {
+		if pipeline.Expired(opt.Ctx) {
+			res.Stopped = true
+			break
+		}
+
+		// Numerical health: a non-finite objective or gradient would poison
+		// the search direction. Roll back to the best iterate (re-evaluating
+		// its gradient), damp the step and restart with steepest descent.
+		if !isFinite(fx) || !isFinite(gg) {
+			if !isFinite(bestF) || consecutive >= opt.MaxRecoveries {
+				res.Diverged = true
+				break
+			}
+			consecutive++
+			res.Recoveries++
+			copy(x, bestX)
+			fx = f(x, g)
+			res.FuncEvals++
+			if faultinject.Hit(faultinject.SiteOptNaNGrad) {
+				g[0] = math.NaN()
+			}
+			gg = dot(g, g)
+			for i := range d {
+				d[i] = -g[i]
+			}
+			step = math.Max(step*0.1, 1e-12)
+			continue
+		}
+
 		gnorm := math.Sqrt(gg) / sqrtN
 		res.GradNorm = gnorm
 		if gnorm < opt.GradTol {
@@ -86,29 +152,76 @@ func Minimize(f Func, x []float64, opt Options) Result {
 		alpha := step
 		var fNew float64
 		accepted := false
+		pathological := false // saw a NaN/Inf trial objective
+		stalled := faultinject.Hit(faultinject.SiteOptLineSearchStall)
 		for ls := 0; ls < 30; ls++ {
+			if pipeline.Expired(opt.Ctx) {
+				res.Stopped = true
+				break
+			}
 			for i := range xTrial {
 				xTrial[i] = x[i] + alpha*d[i]
 			}
 			fNew = f(xTrial, gTrial)
 			res.FuncEvals++
-			if fNew <= fx+c1*alpha*dg && !math.IsNaN(fNew) {
+			// Reject non-finite trial objectives outright: an Inf (or a NaN
+			// compared against a NaN fx) must never be accepted, even when it
+			// formally satisfies the Armijo comparison.
+			if !math.IsNaN(fNew) && !math.IsInf(fNew, 0) &&
+				fNew <= fx+c1*alpha*dg && !stalled {
 				accepted = true
 				break
 			}
+			if math.IsNaN(fNew) || math.IsInf(fNew, 0) {
+				pathological = true
+			}
 			alpha *= 0.5
 		}
-		if !accepted {
-			// Line search failed: the gradient is either tiny or the model is
-			// pathological at this scale. Stop with the current iterate.
+		if res.Stopped {
 			break
 		}
+		if !accepted {
+			if pathological || stalled {
+				// The model is returning non-finite values at this scale (or
+				// a stall was injected): recover instead of silently stopping
+				// at a possibly poor iterate.
+				if consecutive >= opt.MaxRecoveries {
+					res.Diverged = pathological
+					break
+				}
+				consecutive++
+				res.Recoveries++
+				if bestF < fx {
+					copy(x, bestX)
+					fx = f(x, g)
+					res.FuncEvals++
+					gg = dot(g, g)
+				}
+				for i := range d {
+					d[i] = -g[i]
+				}
+				step = math.Max(step*0.1, 1e-12)
+				continue
+			}
+			// Line search failed on a finite landscape: the gradient is either
+			// tiny or the model is at convergence scale. Stop with the current
+			// iterate, as the unguarded solver did.
+			break
+		}
+		consecutive = 0
 
 		copy(gPrev, g)
 		copy(g, gTrial)
 		copy(x, xTrial)
 		fx = fNew
 		res.Iters++
+		if isFinite(fx) && fx <= bestF {
+			bestF = fx
+			copy(bestX, x)
+		}
+		if faultinject.Hit(faultinject.SiteOptNaNGrad) {
+			g[0] = math.NaN()
+		}
 
 		ggNew := dot(g, g)
 		// Polak–Ribière+ with automatic restart.
@@ -134,9 +247,19 @@ func Minimize(f Func, x []float64, opt Options) Result {
 			break
 		}
 	}
+	// On an abnormal stop, hand back the best iterate rather than whatever
+	// the failure left in x.
+	if (res.Stopped || res.Diverged) && isFinite(bestF) && (!isFinite(fx) || bestF < fx) {
+		copy(x, bestX)
+		fx = bestF
+	}
 	res.F = fx
 	res.GradNorm = math.Sqrt(gg) / sqrtN
 	return res
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func dot(a, b []float64) float64 {

@@ -1,0 +1,68 @@
+// Package pipeline defines the cross-cutting resilience vocabulary of the
+// placement flow: the error taxonomy every stage wraps its failures in, and
+// the cooperative cancellation helpers threaded through the solvers.
+//
+// The taxonomy is deliberately small. Callers branch on four conditions with
+// errors.Is and treat everything else as a generic failure:
+//
+//	ErrTimeout          — a stage deadline or the pipeline budget expired;
+//	                      the result carries the best iterate found so far.
+//	ErrDiverged         — the numerical-health guard exhausted its recovery
+//	                      budget (NaN/Inf objective or gradient, repeated
+//	                      step collapse).
+//	ErrDegenerateGroups — datapath extraction produced groups the placer
+//	                      cannot honor (zero stages, taller or wider than
+//	                      the core).
+//	ErrMalformedInput   — an input file is syntactically or semantically
+//	                      invalid (hostile headers, NaN coordinates,
+//	                      truncated records).
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Sentinel errors of the placement flow. Stages wrap them with context via
+// fmt.Errorf("...: %w", ...), so callers test with errors.Is.
+var (
+	ErrTimeout          = errors.New("stage deadline exceeded")
+	ErrDiverged         = errors.New("optimization diverged")
+	ErrDegenerateGroups = errors.New("degenerate datapath groups")
+	ErrMalformedInput   = errors.New("malformed input")
+)
+
+// StageError wraps err with the stage name, preserving the sentinel chain.
+func StageError(stage string, err error) error {
+	return fmt.Errorf("%s: %w", stage, err)
+}
+
+// Expired reports whether ctx is done. A nil ctx never expires, so solvers
+// can take a context unconditionally without the hot loop paying for one.
+// The faultinject deadline site forces expiry deterministically in tests.
+func Expired(ctx context.Context) bool {
+	if faultinject.Hit(faultinject.SiteDeadline) {
+		return true
+	}
+	if ctx == nil {
+		return false
+	}
+	return ctx.Err() != nil
+}
+
+// WithBudget derives a stage context bounded by d. A zero or negative budget
+// returns ctx unchanged with a no-op cancel, so call sites can defer cancel
+// unconditionally.
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -6,11 +6,13 @@
 package detail
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 )
 
 // Options controls detailed placement.
@@ -22,13 +24,18 @@ type Options struct {
 	Passes int
 	// Window is the reordering window size (default 3; max 4).
 	Window int
+	// Ctx, when non-nil, is polled between sweeps; on expiry Improve stops
+	// early with Result.Partial set. The placement stays legal — every
+	// accepted move preserves legality.
+	Ctx context.Context
 }
 
 // Result reports the improvement achieved.
 type Result struct {
 	HPWLBefore float64
 	HPWLAfter  float64
-	Moves      int // accepted changes
+	Moves      int  // accepted changes
+	Partial    bool // stopped early at a deadline
 }
 
 // Improve runs detailed placement on a legal placement, keeping it legal.
@@ -47,8 +54,17 @@ func Improve(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Op
 
 	res := Result{HPWLBefore: pl.HPWL(nl)}
 	for pass := 0; pass < opt.Passes; pass++ {
+		if pipeline.Expired(opt.Ctx) {
+			res.Partial = true
+			break
+		}
 		moves := 0
 		moves += d.reorderPass()
+		if pipeline.Expired(opt.Ctx) {
+			res.Partial = true
+			res.Moves += moves
+			break
+		}
 		moves += d.vSwapPass()
 		res.Moves += moves
 		if moves == 0 {

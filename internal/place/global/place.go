@@ -1,6 +1,7 @@
 package global
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/opt"
+	"repro/internal/pipeline"
 	"repro/internal/wirelength"
 )
 
@@ -77,6 +79,27 @@ type Result struct {
 	AlignRMS   float64
 	OuterIters int
 	FuncEvals  int
+	// Diagnostics records the resilience events of the run.
+	Diagnostics Diagnostics
+}
+
+// Diagnostics records the numerical-health and cancellation events of one
+// global-placement run. All-zero means the run was clean.
+type Diagnostics struct {
+	// Recoveries counts inner-solver health events: NaN/Inf rollbacks and
+	// pathological line-search resets inside opt.Minimize.
+	Recoveries int
+	// Rollbacks counts outer-loop restorations of the best iterate after a
+	// diverged inner solve.
+	Rollbacks int
+	// ReAnneals counts γ/λ re-annealing events that accompany a rollback.
+	ReAnneals int
+	// Partial is set when a deadline stopped the λ-schedule early; the
+	// committed placement is the best iterate found so far.
+	Partial bool
+	// Diverged is set when the health guard gave up (the run returned an
+	// error wrapping pipeline.ErrDiverged).
+	Diverged bool
 }
 
 func (o *Options) fillDefaults() {
@@ -104,6 +127,17 @@ func (o *Options) fillDefaults() {
 // cells only). The returned placement is spread but not legalized; in hard
 // alignment mode the extracted groups come out exactly bit-aligned.
 func Place(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) (Result, error) {
+	return PlaceCtx(context.Background(), nl, pl, core, o)
+}
+
+// PlaceCtx is Place with cooperative cancellation. The context is polled in
+// the outer λ-schedule loop and inside every conjugate-gradient iteration;
+// on expiry the best iterate found so far is committed to pl, the returned
+// Result has Diagnostics.Partial set, and the error wraps
+// pipeline.ErrTimeout. When the numerical-health guard gives up after
+// repeated divergence the best iterate is likewise committed and the error
+// wraps pipeline.ErrDiverged.
+func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) (Result, error) {
 	o.fillDefaults()
 	var model wirelength.Model
 	switch o.WLModel {
@@ -123,7 +157,7 @@ func Place(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Option
 	if e.nVars == 0 {
 		return Result{HPWL: pl.HPWL(nl)}, nil
 	}
-	return e.run()
+	return e.run(ctx)
 }
 
 // engine carries the optimization state. The variable vector v packs the x
@@ -477,7 +511,7 @@ func gradL1(gx, gy []float64, nl *netlist.Netlist) float64 {
 }
 
 // run executes the λ-scheduled outer loop.
-func (e *engine) run() (Result, error) {
+func (e *engine) run(ctx context.Context) (Result, error) {
 	nl, pl := e.nl, e.pl
 	v := make([]float64, e.nVars)
 	e.initVars(v)
@@ -524,18 +558,59 @@ func (e *engine) run() (Result, error) {
 	bestV := make([]float64, len(v))
 	bestOv := math.Inf(1)
 	sinceBest := 0
+	// Health bookkeeping: γ re-annealing boost (1 = schedule as planned)
+	// and the divergence strike count. Two strikes and the run gives up so
+	// the caller can fall back to a simpler formulation.
+	gammaBoost := 1.0
+	diverged := 0
+	var stageErr error
 	for outer := 0; outer < e.o.MaxOuterIters; outer++ {
+		if pipeline.Expired(ctx) {
+			res.Diagnostics.Partial = true
+			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
+			break
+		}
 		frac := float64(outer) / math.Max(1, float64(e.o.MaxOuterIters-1))
 		gamma := gammaHi * math.Pow(gammaLo/gammaHi, frac)
+		if gammaBoost != 1 {
+			gamma = math.Min(gammaHi, gamma*gammaBoost)
+		}
 		e.model.SetGamma(gamma)
 
 		r := opt.Minimize(e.eval, v, opt.Options{
 			MaxIter:  e.o.InnerIters,
 			GradTol:  1e-7,
 			StepInit: e.stepInit(v),
+			Ctx:      ctx,
 		})
 		res.FuncEvals += r.FuncEvals
 		res.OuterIters = outer + 1
+		res.Diagnostics.Recoveries += r.Recoveries
+
+		if r.Diverged || !finiteVec(v) {
+			// The inner solve blew up beyond its own recovery budget: roll
+			// back to the best iterate and re-anneal — smoother γ, gentler λ
+			// — so the next stage re-approaches the barrier gradually.
+			diverged++
+			res.Diagnostics.Rollbacks++
+			res.Diagnostics.ReAnneals++
+			if bestOv < math.Inf(1) {
+				copy(v, bestV)
+			} else {
+				e.initVars(v)
+			}
+			e.lambda = math.Max(lambda0, e.lambda*0.25)
+			if e.alpha > 0 {
+				e.alpha = math.Max(alpha0, e.alpha*0.25)
+			}
+			gammaBoost *= 2
+			if diverged >= 2 {
+				res.Diagnostics.Diverged = true
+				stageErr = pipeline.StageError("global", pipeline.ErrDiverged)
+				break
+			}
+			continue
+		}
 
 		e.clampVars(v)
 		e.commit(v)
@@ -559,6 +634,11 @@ func (e *engine) run() (Result, error) {
 				Alpha:     e.alpha,
 			})
 		}
+		if r.Stopped {
+			res.Diagnostics.Partial = true
+			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
+			break
+		}
 		if ov < e.o.OverflowTarget && outer >= 3 {
 			break
 		}
@@ -575,15 +655,22 @@ func (e *engine) run() (Result, error) {
 	}
 
 	// Soft mode needs a final alignment polish before legalization; hard
-	// mode is aligned by construction.
-	if !e.hard && len(e.o.Groups) > 0 && e.alpha > 0 {
+	// mode is aligned by construction. Skipped on an abnormal stop: the
+	// best iterate is worth more than a polish under a blown budget.
+	if stageErr == nil && !e.hard && len(e.o.Groups) > 0 && e.alpha > 0 {
 		e.alpha *= 64
 		r := opt.Minimize(e.eval, v, opt.Options{
 			MaxIter:  e.o.InnerIters,
 			GradTol:  1e-7,
 			StepInit: e.stepInit(v),
+			Ctx:      ctx,
 		})
 		res.FuncEvals += r.FuncEvals
+		res.Diagnostics.Recoveries += r.Recoveries
+		if r.Stopped {
+			res.Diagnostics.Partial = true
+			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
+		}
 		e.clampVars(v)
 	}
 
@@ -593,7 +680,17 @@ func (e *engine) run() (Result, error) {
 	res.HPWL = pl.HPWL(nl)
 	res.Overflow = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
 	res.AlignRMS = AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull)
-	return res, nil
+	return res, stageErr
+}
+
+// finiteVec reports whether every component of v is finite.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // stepInit picks the first trial step so the strongest variable moves about

@@ -1,11 +1,13 @@
 package legal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 )
 
 // subrow is one free interval of a row carrying Abacus cluster state.
@@ -37,8 +39,11 @@ func (c *cluster) pos(sr *subrow) float64 {
 }
 
 // abacus legalizes the given cells around the existing blockages. Cells are
-// processed in increasing global-placement x, the classic Abacus order.
-func (l *legalizer) abacus(cells []netlist.CellID, rowSpan int) error {
+// processed in increasing global-placement x, the classic Abacus order. The
+// context is polled every few hundred cells; on expiry the cells committed
+// so far are still written to legal positions and the error wraps
+// pipeline.ErrTimeout.
+func (l *legalizer) abacus(ctx context.Context, cells []netlist.CellID, rowSpan int) error {
 	nl, pl, core := l.nl, l.pl, l.core
 	rowH := core.RowH()
 
@@ -75,7 +80,12 @@ func (l *legalizer) abacus(cells []netlist.CellID, rowSpan int) error {
 
 	sort.SliceStable(std, func(a, b int) bool { return pl.X[std[a]] < pl.X[std[b]] })
 
-	for _, c := range std {
+	expired := false
+	for i, c := range std {
+		if i%256 == 0 && pipeline.Expired(ctx) {
+			expired = true
+			break
+		}
 		cell := nl.Cell(c)
 		desX, desY := pl.X[c], pl.Y[c]
 		desRow := core.RowIndex(desY + rowH/2)
@@ -158,6 +168,9 @@ func (l *legalizer) abacus(cells []netlist.CellID, rowSpan int) error {
 				remaining -= cl.w
 			}
 		}
+	}
+	if expired {
+		return pipeline.StageError("legalize", pipeline.ErrTimeout)
 	}
 	return nil
 }

@@ -7,11 +7,13 @@
 package legal
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 	"repro/internal/place/global"
 )
 
@@ -36,6 +38,15 @@ type Result struct {
 // Legalize updates pl in place. The incoming placement must be inside the
 // core region; the outgoing placement satisfies Placement.CheckLegal.
 func Legalize(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Options) (Result, error) {
+	return LegalizeCtx(context.Background(), nl, pl, core, opt)
+}
+
+// LegalizeCtx is Legalize with cooperative cancellation. The context is
+// polled between group blocks and periodically inside the Abacus scan; on
+// expiry the error wraps pipeline.ErrTimeout and the placement is only
+// partially legalized (cells processed so far are legal, the rest keep
+// their global positions).
+func LegalizeCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Options) (Result, error) {
 	if opt.RowSearchSpan <= 0 {
 		opt.RowSearchSpan = 12
 	}
@@ -50,6 +61,9 @@ func Legalize(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt O
 	})
 	inBlock := make([]bool, nl.NumCells())
 	for _, g := range groups {
+		if pipeline.Expired(ctx) {
+			return res, pipeline.StageError("legalize", pipeline.ErrTimeout)
+		}
 		if l.placeGroup(g, inBlock) {
 			res.GroupBlocks++
 		} else {
@@ -65,7 +79,7 @@ func Legalize(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt O
 		}
 		rest = append(rest, netlist.CellID(i))
 	}
-	if err := l.abacus(rest, opt.RowSearchSpan); err != nil {
+	if err := l.abacus(ctx, rest, opt.RowSearchSpan); err != nil {
 		return res, err
 	}
 

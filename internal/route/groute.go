@@ -1,11 +1,13 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/pipeline"
 )
 
 // GRouteOptions configures the global router.
@@ -32,6 +34,7 @@ type GRouteResult struct {
 	MaxUsage      float64 // peak edge usage/capacity
 	OverflowEdges int     // edges above capacity
 	SkippedNets   int     // nets above MaxDegree
+	Partial       bool    // a deadline stopped routing early
 }
 
 // grEdge addressing: horizontal edges cross vertical bin boundaries
@@ -59,6 +62,13 @@ func (r *grouter) vIdx(i, j int) int { return j*r.grid.NX + i }
 // routed-wirelength proxy of the evaluation: unlike RUDY it models detours,
 // so scrambled buses pay for the congestion they cause.
 func GlobalRoute(nl *netlist.Netlist, pl *netlist.Placement, region geom.Rect, opt GRouteOptions) *GRouteResult {
+	return GlobalRouteCtx(context.Background(), nl, pl, region, opt)
+}
+
+// GlobalRouteCtx is GlobalRoute with cooperative cancellation. The context
+// is polled between routing batches and rip-up passes; on expiry the result
+// reflects the segments routed so far and has Partial set.
+func GlobalRouteCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, region geom.Rect, opt GRouteOptions) *GRouteResult {
 	if opt.NX <= 0 {
 		opt.NX = 48
 	}
@@ -122,12 +132,20 @@ func GlobalRoute(nl *netlist.Netlist, pl *netlist.Placement, region geom.Rect, o
 
 	r.paths = make([][]grEdgeRef, len(segs))
 	for si := range segs {
+		if si%1024 == 0 && pipeline.Expired(ctx) {
+			res.Partial = true
+			break
+		}
 		r.paths[si] = r.route(segs[si].a, segs[si].b)
 		r.apply(r.paths[si], 1)
 	}
 
 	// Rip-up and reroute segments that touch overloaded edges.
-	for pass := 0; pass < opt.Passes; pass++ {
+	for pass := 0; pass < opt.Passes && !res.Partial; pass++ {
+		if pipeline.Expired(ctx) {
+			res.Partial = true
+			break
+		}
 		rerouted := 0
 		for si := range segs {
 			if !r.overflows(r.paths[si]) {
