@@ -5,58 +5,106 @@
 //
 // Usage:
 //
-//	dpeval [-pl other.pl] [-capacity 0.8] design.aux
+//	dpeval [-pl other.pl] [-capacity 0.8] [-json report.json] [-v] design.aux
+//
+// -json writes the report as machine-readable JSON (path "-" for stdout);
+// -v adds debug logging of the evaluation stages on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"os"
 
 	"repro/internal/bookshelf"
 	"repro/internal/datapath"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	plPath := flag.String("pl", "", "override placement from this .pl file")
 	capacity := flag.Float64("capacity", 0.8, "global-router capacity factor")
+	jsonPath := flag.String("json", "", "write the report as JSON to this path (\"-\" for stdout)")
+	verbose := flag.Bool("v", false, "debug logging on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dpeval [flags] design.aux")
-		os.Exit(2)
+		return 2
+	}
+
+	rec := obs.New()
+	level := obs.Info
+	if *verbose {
+		level = obs.Debug
+	}
+	rec.SetLog(os.Stderr, level)
+	fatal := func(format string, args ...any) int {
+		rec.Logf(obs.Error, "dpeval", format, args...)
+		return 1
 	}
 
 	d, err := bookshelf.ReadAux(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return fatal("%v", err)
 	}
 	if d.Core == nil {
-		log.Fatal("dpeval: design has no .scl row definition")
+		return fatal("design has no .scl row definition")
 	}
 	if *plPath != "" {
 		f, err := os.Open(*plPath)
 		if err != nil {
-			log.Fatal(err)
+			return fatal("%v", err)
 		}
 		err = bookshelf.ReadPl(f, d.Netlist, d.Placement)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return fatal("%v", err)
 		}
 	}
 
+	legalErr := d.Placement.CheckLegal(d.Netlist, d.Core)
 	legal := "yes"
-	if err := d.Placement.CheckLegal(d.Netlist, d.Core); err != nil {
-		legal = fmt.Sprintf("NO (%v)", err)
+	if legalErr != nil {
+		legal = fmt.Sprintf("NO (%v)", legalErr)
 	}
 	rep := metrics.Evaluate(d.Netlist, d.Placement, d.Core, metrics.Options{
 		RouteCapacityFactor: *capacity,
+		Obs:                 rec,
 	})
 	ext := datapath.Extract(d.Netlist, datapath.DefaultOptions())
 	align := alignmentOf(d, ext)
+
+	if *jsonPath != "" {
+		out := struct {
+			Design       string         `json:"design"`
+			Legal        bool           `json:"legal"`
+			LegalError   string         `json:"legal_error,omitempty"`
+			Metrics      metrics.Report `json:"metrics"`
+			Groups       int            `json:"groups"`
+			GroupedCells int            `json:"grouped_cells"`
+			AlignRMS     float64        `json:"align_rms"`
+		}{d.Netlist.Name, legalErr == nil, errString(legalErr), rep,
+			len(ext.Groups), ext.NumGrouped(), align}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return fatal("%v", err)
+		}
+		b = append(b, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+			return 0
+		}
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			return fatal("%v", err)
+		}
+	}
 
 	fmt.Printf("design:           %s (%d cells, %d nets)\n",
 		d.Netlist.Name, d.Netlist.NumCells(), d.Netlist.NumNets())
@@ -70,6 +118,14 @@ func main() {
 	fmt.Printf("RUDY ACE5:        %.2f\n", rep.Congestion.ACE5)
 	fmt.Printf("datapath groups:  %d (%d cells); alignment RMS %.3f\n",
 		len(ext.Groups), ext.NumGrouped(), align)
+	return 0
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // alignmentOf scores how bit-aligned the extracted groups are in this

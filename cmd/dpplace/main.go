@@ -5,7 +5,18 @@
 //
 //	dpplace [-mode structure-aware|baseline] [-model wa|lse] [-out out.pl]
 //	        [-outer 24] [-inner 50] [-timeout 0] [-on-degrade fallback|fail]
+//	        [-trace run.jsonl] [-report out.json] [-v] [-quiet]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof :6060]
 //	        design.aux
+//
+// Observability: -trace writes the flight-recorder JSONL trace (stage spans,
+// per-iteration solver telemetry, λ-schedule trajectory, health events);
+// -report writes a machine-readable run report (final metrics, per-stage
+// timings, counters, degradations, exit classification). -v enables debug
+// logging, -quiet restricts stderr to warnings and suppresses the stdout
+// summary. The pprof flags profile the run or serve net/http/pprof live.
+// With all observability flags off the recorder is disabled and the
+// placement is bit-identical to an uninstrumented run.
 //
 // Exit codes classify the failure so scripts can react without parsing
 // stderr:
@@ -20,14 +31,22 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bookshelf"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/place/global"
 	"repro/internal/viz"
 )
@@ -42,14 +61,11 @@ const (
 	exitDegenerate = 5
 )
 
-func fatal(code int, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dpplace: "+format+"\n", args...)
-	os.Exit(code)
-}
-
 // classify maps a pipeline error to its exit code.
 func classify(err error) int {
 	switch {
+	case err == nil:
+		return exitOK
 	case errors.Is(err, core.ErrTimeout):
 		return exitTimeout
 	case errors.Is(err, core.ErrMalformedInput):
@@ -61,7 +77,31 @@ func classify(err error) int {
 	}
 }
 
+// exitName is the run report's machine-readable exit classification.
+func exitName(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, core.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, core.ErrDiverged):
+		return "diverged"
+	case errors.Is(err, core.ErrDegenerateGroups):
+		return "degenerate-groups"
+	case errors.Is(err, core.ErrMalformedInput):
+		return "malformed-input"
+	default:
+		return "error"
+	}
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main with deferred cleanup intact: profiles and the trace buffer
+// flush on every exit path, which os.Exit inside the body would skip.
+func run() int {
 	mode := flag.String("mode", "structure-aware", "placement mode: structure-aware or baseline")
 	model := flag.String("model", "wa", "smooth wirelength model: wa or lse")
 	outPl := flag.String("out", "", "output .pl path (default: stdout summary only)")
@@ -71,18 +111,92 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
 	onDegrade := flag.String("on-degrade", "fallback",
 		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
+	tracePath := flag.String("trace", "", "write the flight-recorder JSONL trace to this path")
+	reportPath := flag.String("report", "", "write the machine-readable run report (JSON) to this path")
+	verbose := flag.Bool("v", false, "debug logging on stderr")
+	quiet := flag.Bool("quiet", false, "warnings only on stderr; suppress the stdout summary")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	rec := obs.New()
+	level := obs.Info
+	if *verbose {
+		level = obs.Debug
+	}
+	if *quiet {
+		level = obs.Warn
+	}
+	rec.SetLog(os.Stderr, level)
+	fatal := func(code int, format string, args ...any) int {
+		rec.Logf(obs.Error, "dpplace", format, args...)
+		return code
+	}
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dpplace [flags] design.aux")
-		os.Exit(exitUsage)
+		return exitUsage
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fatal(exitError, "%v", err)
+		}
+		bw := bufio.NewWriter(f)
+		rec.SetTrace(bw)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+	}
+	if *reportPath != "" {
+		rec.Collect()
+	}
+	if *pprofAddr != "" {
+		rec.Logf(obs.Info, "dpplace", "pprof server on http://%s/debug/pprof/", *pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				rec.Logf(obs.Warn, "dpplace", "pprof server: %v", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fatal(exitError, "%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fatal(exitError, "start CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				rec.Logf(obs.Error, "dpplace", "%v", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				rec.Logf(obs.Error, "dpplace", "write heap profile: %v", err)
+			}
+			f.Close()
+		}()
 	}
 
 	d, err := bookshelf.ReadAux(flag.Arg(0))
 	if err != nil {
-		fatal(classify(err), "%v", err)
+		return fatal(classify(err), "%v", err)
 	}
 	if d.Core == nil {
-		fatal(exitMalformed, "design has no .scl row definition")
+		return fatal(exitMalformed, "design has no .scl row definition")
 	}
 
 	opt := core.Options{
@@ -99,7 +213,7 @@ func main() {
 	case "baseline":
 		opt.Mode = core.Baseline
 	default:
-		fatal(exitUsage, "unknown mode %q", *mode)
+		return fatal(exitUsage, "unknown mode %q", *mode)
 	}
 	switch *onDegrade {
 	case "fallback":
@@ -107,84 +221,149 @@ func main() {
 	case "fail":
 		opt.OnDegrade = core.DegradeFail
 	default:
-		fatal(exitUsage, "unknown -on-degrade policy %q", *onDegrade)
+		return fatal(exitUsage, "unknown -on-degrade policy %q", *onDegrade)
 	}
 
-	res, err := core.Place(d.Netlist, d.Core, d.Placement, opt)
+	ctx := obs.NewContext(context.Background(), rec)
+	res, err := core.PlaceCtx(ctx, d.Netlist, d.Core, d.Placement, opt)
 	if err != nil && res == nil {
-		fatal(classify(err), "%v", err)
+		return fatal(classify(err), "%v", err)
 	}
 
-	fmt.Printf("mode:            %s\n", opt.Mode)
-	if res.Extraction != nil {
-		fmt.Printf("groups:          %d (%d cells)\n", len(res.Extraction.Groups), res.GroupedCells)
-	}
-	fmt.Printf("HPWL global:     %.0f\n", res.HPWLGlobal)
+	var rep *metrics.Report
 	if res.LegalityChecked {
-		fmt.Printf("HPWL legal:      %.0f\n", res.HPWLLegal)
-		fmt.Printf("HPWL final:      %.0f\n", res.HPWLFinal)
-		rep := metrics.Evaluate(d.Netlist, res.Placement, d.Core, metrics.Options{})
-		fmt.Printf("StWL final:      %.0f\n", rep.SteinerWL)
-		fmt.Printf("congestion ACE5: %.2f\n", rep.Congestion.ACE5)
+		r := metrics.Evaluate(d.Netlist, res.Placement, d.Core, metrics.Options{Obs: rec})
+		rep = &r
 	}
-	fmt.Printf("time:            %.2fs (extract %.2fs, global %.2fs, legal %.2fs, detail %.2fs)\n",
-		res.Times.Total().Seconds(), res.Times.Extract.Seconds(),
-		res.Times.Global.Seconds(), res.Times.Legalize.Seconds(), res.Times.Detail.Seconds())
 
-	diag := res.GlobalResult.Diagnostics
-	if diag.Recoveries > 0 || diag.Rollbacks > 0 || diag.ReAnneals > 0 {
-		fmt.Printf("recoveries:      %d solver, %d rollbacks, %d re-anneals\n",
-			diag.Recoveries, diag.Rollbacks, diag.ReAnneals)
+	if !*quiet {
+		printSummary(os.Stdout, opt.Mode, res, rep)
 	}
-	for _, deg := range res.Degradations {
-		if deg.Group >= 0 {
-			fmt.Printf("degraded:        %s group %d: %s\n", deg.Stage, deg.Group, deg.Reason)
-		} else {
-			fmt.Printf("degraded:        %s: %s\n", deg.Stage, deg.Reason)
+
+	if *reportPath != "" {
+		if werr := writeReport(*reportPath, d.Netlist.Name, opt.Mode, res, rep, err, rec); werr != nil {
+			return fatal(exitError, "%v", werr)
 		}
-	}
-	if res.Partial {
-		fmt.Printf("partial:         pipeline stopped at the deadline\n")
+		rec.Logf(obs.Info, "dpplace", "run report: %s", *reportPath)
 	}
 
 	if *outSVG != "" {
 		f, ferr := os.Create(*outSVG)
 		if ferr != nil {
-			fatal(exitError, "%v", ferr)
+			return fatal(exitError, "%v", ferr)
 		}
 		if werr := viz.WriteSVG(f, d.Netlist, res.Placement, d.Core, viz.Options{
 			Extraction: res.Extraction,
 			Title:      fmt.Sprintf("%s — %s, HPWL %.0f", d.Netlist.Name, opt.Mode, res.HPWLFinal),
 		}); werr != nil {
 			f.Close()
-			fatal(exitError, "%v", werr)
+			return fatal(exitError, "%v", werr)
 		}
 		if cerr := f.Close(); cerr != nil {
-			fatal(exitError, "%v", cerr)
+			return fatal(exitError, "%v", cerr)
 		}
-		fmt.Printf("svg:             %s\n", *outSVG)
+		if !*quiet {
+			fmt.Printf("svg:             %s\n", *outSVG)
+		}
 	}
 	// A partial placement is only written when it is known legal — never
 	// hand a corrupt .pl to downstream tools.
 	if *outPl != "" {
 		if res.Partial && !res.LegalityChecked {
-			fmt.Fprintf(os.Stderr, "dpplace: partial result is not legal; not writing %s\n", *outPl)
+			rec.Logf(obs.Warn, "dpplace", "partial result is not legal; not writing %s", *outPl)
 		} else {
 			f, ferr := os.Create(*outPl)
 			if ferr != nil {
-				fatal(exitError, "%v", ferr)
+				return fatal(exitError, "%v", ferr)
 			}
 			if werr := bookshelf.WritePl(f, d.Netlist, res.Placement); werr != nil {
 				f.Close()
-				fatal(exitError, "%v", werr)
+				return fatal(exitError, "%v", werr)
 			}
 			if cerr := f.Close(); cerr != nil {
-				fatal(exitError, "%v", cerr)
+				return fatal(exitError, "%v", cerr)
 			}
-			fmt.Printf("placement:       %s\n", *outPl)
+			if !*quiet {
+				fmt.Printf("placement:       %s\n", *outPl)
+			}
 		}
 	}
 	if err != nil {
-		fatal(classify(err), "%v", err)
+		return fatal(classify(err), "%v", err)
 	}
+	return exitOK
+}
+
+// printSummary writes the human-readable result, surfacing degradations and
+// health-guard recoveries rather than leaving them buried in the result
+// struct.
+func printSummary(w *os.File, mode core.Mode, res *core.Result, rep *metrics.Report) {
+	fmt.Fprintf(w, "mode:            %s\n", mode)
+	if res.Extraction != nil {
+		fmt.Fprintf(w, "groups:          %d (%d cells)\n", len(res.Extraction.Groups), res.GroupedCells)
+	}
+	fmt.Fprintf(w, "HPWL global:     %.0f\n", res.HPWLGlobal)
+	if res.LegalityChecked {
+		fmt.Fprintf(w, "HPWL legal:      %.0f\n", res.HPWLLegal)
+		fmt.Fprintf(w, "HPWL final:      %.0f\n", res.HPWLFinal)
+	}
+	if rep != nil {
+		fmt.Fprintf(w, "StWL final:      %.0f\n", rep.SteinerWL)
+		fmt.Fprintf(w, "congestion ACE5: %.2f\n", rep.Congestion.ACE5)
+	}
+	fmt.Fprintf(w, "time:            %.2fs (extract %.2fs, global %.2fs, legal %.2fs, detail %.2fs)\n",
+		res.Times.Total().Seconds(), res.Times.Extract.Seconds(),
+		res.Times.Global.Seconds(), res.Times.Legalize.Seconds(), res.Times.Detail.Seconds())
+
+	diag := res.GlobalResult.Diagnostics
+	if diag.Recoveries > 0 || diag.Rollbacks > 0 || diag.ReAnneals > 0 {
+		fmt.Fprintf(w, "recoveries:      %d solver, %d rollbacks, %d re-anneals\n",
+			diag.Recoveries, diag.Rollbacks, diag.ReAnneals)
+	}
+	for _, deg := range res.Degradations {
+		if deg.Group >= 0 {
+			fmt.Fprintf(w, "degraded:        %s group %d: %s\n", deg.Stage, deg.Group, deg.Reason)
+		} else {
+			fmt.Fprintf(w, "degraded:        %s: %s\n", deg.Stage, deg.Reason)
+		}
+	}
+	if res.Partial {
+		fmt.Fprintf(w, "partial:         pipeline stopped at the deadline\n")
+	}
+}
+
+// writeReport assembles and writes the machine-readable run report.
+func writeReport(path, design string, mode core.Mode, res *core.Result, rep *metrics.Report, runErr error, rec *obs.Recorder) error {
+	counters := rec.Counters()
+	if n := faultinject.FiredTotal(); n > 0 {
+		counters["fault_injections"] = int64(n)
+	}
+	out := &obs.RunReport{
+		Design:  design,
+		Mode:    mode.String(),
+		Exit:    exitName(runErr),
+		Partial: res.Partial,
+		HPWL: obs.HPWLSummary{
+			Global: res.HPWLGlobal,
+			Legal:  res.HPWLLegal,
+			Final:  res.HPWLFinal,
+		},
+		StageSeconds: map[string]float64{
+			"extract":  res.Times.Extract.Seconds(),
+			"global":   res.Times.Global.Seconds(),
+			"legalize": res.Times.Legalize.Seconds(),
+			"detail":   res.Times.Detail.Seconds(),
+		},
+		Counters:   counters,
+		Trajectory: rec.Trajectory(),
+	}
+	for _, deg := range res.Degradations {
+		out.Degradations = append(out.Degradations, obs.DegradeEntry{
+			Stage: deg.Stage, Group: deg.Group, Reason: deg.Reason,
+		})
+	}
+	if rep != nil {
+		out.Metrics = rep
+	}
+	return obs.WriteReportFile(path, out)
 }

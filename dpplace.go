@@ -23,6 +23,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/viz"
 )
 
@@ -69,6 +70,14 @@ type (
 
 	// Design bundles a Bookshelf benchmark.
 	Design = bookshelf.Design
+
+	// Recorder is the flight recorder: spans, counters, solver telemetry
+	// and leveled logging; see obs.Recorder.
+	Recorder = obs.Recorder
+	// RunReport is the machine-readable run summary; see obs.RunReport.
+	RunReport = obs.RunReport
+	// TrajectoryPoint is one λ-schedule snapshot; see obs.TrajectoryPoint.
+	TrajectoryPoint = obs.TrajectoryPoint
 )
 
 // Placement modes.
@@ -104,6 +113,19 @@ const (
 	Shifter = gen.Shifter
 	RegBank = gen.RegBank
 )
+
+// NewRecorder returns a disabled flight recorder; attach sinks with
+// SetTrace/SetLog or Collect, then thread it into PlaceCtx with WithRecorder.
+func NewRecorder() *Recorder {
+	return obs.New()
+}
+
+// WithRecorder returns ctx carrying rec, so PlaceCtx (and every stage under
+// it) records into the flight recorder. Recording is passive: a traced run
+// produces a bit-identical placement.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return obs.NewContext(ctx, rec)
+}
 
 // Place runs the full placement pipeline; see core.Place.
 func Place(nl *Netlist, chip *Core, initial *Placement, opt Options) (*Result, error) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/place/detail"
 	"repro/internal/place/global"
@@ -166,6 +167,10 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 	ctx, cancel := pipeline.WithBudget(ctx, opt.Timeout)
 	defer cancel()
 
+	rec := obs.From(ctx)
+	root := rec.Span("place")
+	defer root.End()
+
 	pl := initial.Clone()
 	res := &Result{Placement: pl}
 
@@ -175,12 +180,18 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		if !opt.Extraction.UseNames && !opt.Extraction.UseStructural {
 			opt.Extraction = datapath.DefaultOptions()
 		}
+		sp := root.Child("extract")
 		t0 := time.Now()
 		ext := datapath.Extract(nl, opt.Extraction)
 		res.Times.Extract = time.Since(t0)
 		res.Extraction = ext
 		res.GroupedCells = ext.NumGrouped()
 		groups = global.AlignGroupsFromExtraction(ext)
+		sp.Add("groups", int64(len(ext.Groups)))
+		sp.Add("grouped_cells", int64(ext.NumGrouped()))
+		sp.End()
+		rec.Logf(obs.Debug, "extract", "%d groups covering %d cells",
+			len(ext.Groups), ext.NumGrouped())
 	}
 	if pipeline.Expired(ctx) {
 		res.Partial = true
@@ -220,11 +231,14 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 			res.Degradations = append(res.Degradations, Degradation{
 				Stage: "extract", Group: gi, Reason: reason,
 			})
+			rec.Degrade("extract", gi, reason)
+			rec.Logf(obs.Warn, "extract", "group %d degenerate (%s); placing as plain cells", gi, reason)
 		}
 		groups = kept
 	}
 
 	gOpt.Groups = groups
+	gSpan := root.Child("global")
 	gctx, gcancel := pipeline.WithBudget(ctx, opt.Budgets.Global)
 	t0 := time.Now()
 	gRes, err := global.PlaceCtx(gctx, nl, pl, chip, gOpt)
@@ -235,10 +249,13 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		// engine already rolled back and re-annealed in between). Dissolve
 		// the groups and rerun the plain baseline formulation from the
 		// caller's initial state — a worse but well-conditioned problem.
+		reason := "hard-alignment solve diverged twice; groups dissolved"
 		res.Degradations = append(res.Degradations, Degradation{
-			Stage: "global", Group: -1,
-			Reason: "hard-alignment solve diverged twice; groups dissolved",
+			Stage: "global", Group: -1, Reason: reason,
 		})
+		rec.Degrade("global", -1, reason)
+		rec.Logf(obs.Warn, "global", "%s; rerunning baseline formulation", reason)
+		gSpan.Add("baseline_reruns", 1)
 		copy(pl.X, initial.X)
 		copy(pl.Y, initial.Y)
 		groups = nil
@@ -250,6 +267,11 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		gcancel()
 		res.Times.Global += time.Since(t0)
 	}
+	gSpan.Add("outer_iters", int64(gRes.OuterIters))
+	gSpan.Add("func_evals", int64(gRes.FuncEvals))
+	gSpan.Add("rollbacks", int64(gRes.Diagnostics.Rollbacks))
+	gSpan.Add("re_anneals", int64(gRes.Diagnostics.ReAnneals))
+	gSpan.End()
 	res.GlobalResult = gRes
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
@@ -267,12 +289,16 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		return res, nil
 	}
 
+	lSpan := root.Child("legalize")
 	lctx, lcancel := pipeline.WithBudget(ctx, opt.Budgets.Legalize)
 	t0 = time.Now()
 	lRes, err := legal.LegalizeCtx(lctx, nl, pl, chip, legal.Options{Groups: groups})
 	lcancel()
 	res.Times.Legalize = time.Since(t0)
 	res.LegalResult = lRes
+	lSpan.Add("group_blocks", int64(lRes.GroupBlocks))
+	lSpan.Add("group_fallbacks", int64(lRes.GroupFallbacks))
+	lSpan.End()
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
 			res.Partial = true
@@ -283,14 +309,19 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		return nil, fmt.Errorf("core: legalization: %w", err)
 	}
 	if lRes.GroupFallbacks > 0 {
+		reason := fmt.Sprintf("%d groups found no rigid-block fit and were dissolved into plain cells", lRes.GroupFallbacks)
 		res.Degradations = append(res.Degradations, Degradation{
-			Stage: "legalize", Group: -1,
-			Reason: fmt.Sprintf("%d groups found no rigid-block fit and were dissolved into plain cells", lRes.GroupFallbacks),
+			Stage: "legalize", Group: -1, Reason: reason,
 		})
+		rec.Degrade("legalize", -1, reason)
+		rec.Logf(obs.Warn, "legalize", "%s", reason)
 	}
 	res.HPWLLegal = pl.HPWL(nl)
+	rec.Logf(obs.Debug, "legalize", "done: HPWL %.0f, displacement total %.0f max %.0f, %d blocks",
+		res.HPWLLegal, lRes.TotalDisplacement, lRes.MaxDisplacement, lRes.GroupBlocks)
 
 	if opt.DetailPasses > 0 {
+		dSpan := root.Child("detail")
 		dctx, dcancel := pipeline.WithBudget(ctx, opt.Budgets.Detail)
 		t0 = time.Now()
 		// Group cells are locked against generic moves; their stage order
@@ -305,11 +336,16 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		}
 		dcancel()
 		res.Times.Detail = time.Since(t0)
+		dSpan.Add("moves", int64(res.DetailResult.Moves))
+		dSpan.Add("column_swaps", int64(res.ColumnSwaps))
+		dSpan.End()
 		if res.DetailResult.Partial {
 			res.Partial = true
 		}
 	}
 	res.HPWLFinal = pl.HPWL(nl)
+	rec.Logf(obs.Debug, "core", "final HPWL %.0f (global %.0f, legal %.0f)",
+		res.HPWLFinal, res.HPWLGlobal, res.HPWLLegal)
 
 	if err := pl.CheckLegal(nl, chip); err != nil {
 		return nil, fmt.Errorf("core: final placement illegal: %w", err)

@@ -127,6 +127,18 @@ func Fired(site string) int {
 	return 0
 }
 
+// FiredTotal returns the total number of fault firings across all armed
+// sites, for run reports and the flight recorder's counter summary.
+func FiredTotal() int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, st := range sites {
+		n += st.fired
+	}
+	return n
+}
+
 // TruncatedReader returns r truncated to n bytes when site is armed, and r
 // unchanged otherwise — the injection shape for "the input file was cut off
 // mid-record".

@@ -4,11 +4,13 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
@@ -35,6 +37,9 @@ type Options struct {
 	// routability comparisons need observable overflow, and this is the
 	// regime routability-driven placement papers evaluate in.
 	RouteCapacityFactor float64
+	// Obs, when non-nil, records evaluation spans and counters into the
+	// flight recorder.
+	Obs *obs.Recorder
 }
 
 // Evaluate computes the report for a placement.
@@ -50,25 +55,38 @@ func Evaluate(nl *netlist.Netlist, pl *netlist.Placement, chip *geom.Core, opt O
 		// same design; the absolute value only scales the numbers.
 		opt.Capacity = 0.15
 	}
+	sp := opt.Obs.Span("metrics")
+	defer sp.End()
+
 	grid := geom.NewGrid(chip.Region, opt.GridDim, opt.GridDim)
+	rudySpan := sp.Child("rudy")
 	cm := route.RUDY(nl, pl, grid, route.RUDYOptions{
 		WireWidth: opt.WireWidth,
 		Capacity:  opt.Capacity,
 	})
+	rudySpan.End()
 	if opt.RouteCapacityFactor <= 0 {
 		opt.RouteCapacityFactor = 0.8
 	}
-	gr := route.GlobalRoute(nl, pl, chip.Region, route.GRouteOptions{
-		NX: opt.GridDim, NY: opt.GridDim, WirePitch: opt.WireWidth,
-		CapacityFactor: opt.RouteCapacityFactor,
-	})
-	return Report{
+	// The router pulls the recorder from its context, nesting its own span.
+	gr := route.GlobalRouteCtx(obs.NewContext(context.Background(), opt.Obs),
+		nl, pl, chip.Region, route.GRouteOptions{
+			NX: opt.GridDim, NY: opt.GridDim, WirePitch: opt.WireWidth,
+			CapacityFactor: opt.RouteCapacityFactor,
+		})
+	stSpan := sp.Child("steiner")
+	stwl := route.SteinerWL(nl, pl)
+	stSpan.End()
+	rep := Report{
 		HPWL:       pl.HPWL(nl),
-		SteinerWL:  route.SteinerWL(nl, pl),
+		SteinerWL:  stwl,
 		MaxUtil:    density.MaxUtilization(nl, pl, grid),
 		Congestion: cm.Stats(),
 		Routed:     *gr,
 	}
+	sp.Add("overflow_edges", int64(gr.OverflowEdges))
+	opt.Obs.Logf(obs.Debug, "metrics", "%s", rep)
+	return rep
 }
 
 func (r Report) String() string {

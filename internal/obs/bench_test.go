@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// TestDisabledPathAllocFree pins the tentpole's overhead contract: with
+// recording off, the hot-path methods must not allocate at all.
+func TestDisabledPathAllocFree(t *testing.T) {
+	r := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		r.SolverIter("global", 1, 2, 3.0, 4.0)
+		r.SolverEvent("global", 1, "cg-restart", 2, 3.0, 4.0)
+		r.Add("k", 1)
+		r.OuterIter("global", TrajectoryPoint{})
+		r.Event("global", "x")
+		sp := r.Span("s")
+		sp.Add("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled recorder allocated %.1f times per op, want 0", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.SolverIter("global", 1, 2, 3.0, 4.0)
+		nilRec.Add("k", 1)
+	}); n != 0 {
+		t.Fatalf("nil recorder allocated %.1f times per op, want 0", n)
+	}
+}
+
+// BenchmarkRecorderDisabled measures the cost instrumentation adds to a hot
+// solver loop when recording is off: it must stay at the
+// single-atomic-load level (ns per op, zero allocs).
+func BenchmarkRecorderDisabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SolverIter("global", 1, i, 123.0, 0.5)
+	}
+}
+
+// BenchmarkRecorderDisabledNil is the same loop through a nil recorder, the
+// shape stages see when no recorder rides the context.
+func BenchmarkRecorderDisabledNil(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SolverIter("global", 1, i, 123.0, 0.5)
+	}
+}
+
+// BenchmarkRecorderEnabled is the reference point for the enabled path with
+// a discarding sink: the cost a traced run pays per accepted iterate.
+func BenchmarkRecorderEnabled(b *testing.B) {
+	r := New()
+	r.SetTrace(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SolverIter("global", 1, i, 123.0, 0.5)
+	}
+}

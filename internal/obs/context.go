@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying r, so the recorder rides the same context
+// that already threads cancellation through every pipeline stage.
+func NewContext(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// From extracts the recorder from ctx, or nil (a valid disabled recorder)
+// when none is attached. Stages call it once at entry, never per iteration.
+func From(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return r
+}

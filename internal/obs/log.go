@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Level orders log severities. Info is the default threshold; Debug is
+// opted into with -v, Warn with -quiet.
+type Level int32
+
+// Log levels.
+const (
+	Debug Level = -1
+	Info  Level = 0
+	Warn  Level = 1
+	Error Level = 2
+)
+
+func (l Level) String() string {
+	switch {
+	case l <= Debug:
+		return "debug"
+	case l == Info:
+		return "info"
+	case l == Warn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// SetLog attaches a human-readable log sink with a minimum level. Logging
+// is independent of SetTrace: log lines also land in the trace (ev "log")
+// when one is attached, but attaching a log sink alone does not turn event
+// recording on.
+func (r *Recorder) SetLog(w io.Writer, min Level) {
+	r.logMu.Lock()
+	r.logW = w
+	r.logMu.Unlock()
+	r.logMin.Store(int32(min))
+	r.hasLog.Store(w != nil)
+}
+
+// LogEnabled reports whether a line at level l would be written, so call
+// sites can skip building expensive arguments.
+func (r *Recorder) LogEnabled(l Level) bool {
+	if r == nil {
+		return false
+	}
+	if !r.hasLog.Load() && !r.on.Load() {
+		return false
+	}
+	return int32(l) >= r.logMin.Load()
+}
+
+type logEvent struct {
+	T     float64 `json:"t"`
+	Ev    string  `json:"ev"`
+	Level string  `json:"level"`
+	Stage string  `json:"stage"`
+	Msg   string  `json:"msg"`
+}
+
+// Logf writes one leveled, stage-tagged log line. Lines below the level
+// threshold are dropped. Not for hot loops — use the typed event methods
+// there; Logf is for stage-frequency diagnostics.
+func (r *Recorder) Logf(l Level, stage, format string, args ...any) {
+	if !r.LogEnabled(l) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if r.hasLog.Load() {
+		r.logMu.Lock()
+		if r.logW != nil {
+			fmt.Fprintf(r.logW, "%8.3fs %-5s %s: %s\n",
+				time.Since(r.start).Seconds(), l, stage, msg)
+		}
+		r.logMu.Unlock()
+	}
+	if r.on.Load() {
+		r.emit(logEvent{T: r.now(), Ev: "log", Level: l.String(), Stage: stage, Msg: msg})
+	}
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a JSONL buffer into generic maps, one per line.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if _, ok := m["ev"]; !ok {
+			t.Fatalf("line missing ev discriminator: %q", line)
+		}
+		if _, ok := m["t"]; !ok {
+			t.Fatalf("line missing t timestamp: %q", line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func ofKind(evs []map[string]any, kind string) []map[string]any {
+	var out []map[string]any
+	for _, e := range evs {
+		if e["ev"] == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Active() {
+		t.Fatal("nil recorder reports active")
+	}
+	r.Add("x", 1)
+	r.SolverIter("s", 0, 0, 1, 1)
+	r.SolverEvent("s", 0, "k", 0, 1, 1)
+	r.OuterIter("s", TrajectoryPoint{})
+	r.Degrade("s", 0, "r")
+	r.Event("s", "n")
+	r.Logf(Error, "s", "msg %d", 1)
+	if r.LogEnabled(Error) {
+		t.Fatal("nil recorder reports log enabled")
+	}
+	if r.Counter("x") != 0 || r.Counters() != nil || r.Trajectory() != nil {
+		t.Fatal("nil recorder returned non-zero state")
+	}
+	sp := r.Span("root")
+	if sp != nil {
+		t.Fatal("nil recorder returned non-nil span")
+	}
+	sp.Add("k", 1) // nil span: all no-ops
+	sp.End()
+	if c := sp.Child("c"); c != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
+}
+
+func TestDisabledRecorderInert(t *testing.T) {
+	r := New()
+	if r.Active() {
+		t.Fatal("fresh recorder is active")
+	}
+	r.Add("x", 5)
+	r.SolverIter("s", 0, 0, 1, 1)
+	if sp := r.Span("root"); sp != nil {
+		t.Fatal("disabled recorder returned non-nil span")
+	}
+	if r.Counter("x") != 0 {
+		t.Fatal("disabled recorder accumulated a counter")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.SetTrace(&buf)
+
+	root := r.Span("place")
+	g := root.Child("global")
+	g.Add("outer_iters", 3)
+	g.Add("outer_iters", 2)
+	gg := g.Child("solve")
+	gg.End()
+	g.End()
+	g.End() // idempotent
+	root.End()
+
+	evs := decodeTrace(t, &buf)
+	starts := ofKind(evs, "span")
+	ends := ofKind(evs, "span_end")
+	if len(starts) != 3 {
+		t.Fatalf("got %d span starts, want 3", len(starts))
+	}
+	if len(ends) != 3 {
+		t.Fatalf("got %d span ends, want 3 (End must be idempotent)", len(ends))
+	}
+	// Parent links: place is a root (parent 0); global's parent is place's
+	// id; solve's parent is global's id.
+	ids := map[string]float64{}
+	for _, s := range starts {
+		ids[s["name"].(string)] = s["id"].(float64)
+	}
+	for _, s := range starts {
+		switch s["name"] {
+		case "place":
+			if s["parent"].(float64) != 0 {
+				t.Errorf("place parent = %v, want 0", s["parent"])
+			}
+		case "global":
+			if s["parent"].(float64) != ids["place"] {
+				t.Errorf("global parent = %v, want %v", s["parent"], ids["place"])
+			}
+		case "solve":
+			if s["parent"].(float64) != ids["global"] {
+				t.Errorf("solve parent = %v, want %v", s["parent"], ids["global"])
+			}
+		}
+	}
+	// The global span_end carries its counters; they also roll up to the
+	// recorder total under "global/outer_iters".
+	for _, e := range ends {
+		if e["name"] != "global" {
+			continue
+		}
+		cs, ok := e["counters"].(map[string]any)
+		if !ok {
+			t.Fatalf("global span_end missing counters: %v", e)
+		}
+		if cs["outer_iters"].(float64) != 5 {
+			t.Errorf("span counter outer_iters = %v, want 5", cs["outer_iters"])
+		}
+		if _, hasDur := e["dur"]; !hasDur {
+			t.Error("span_end missing dur")
+		}
+	}
+	if got := r.Counter("global/outer_iters"); got != 5 {
+		t.Errorf("recorder total global/outer_iters = %d, want 5", got)
+	}
+}
+
+func TestCounterAggregation(t *testing.T) {
+	r := New()
+	r.Collect()
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Add("b", 1)
+	r.Add("zero", 0) // no-op; must not create the key
+	cs := r.Counters()
+	if cs["a"] != 5 || cs["b"] != 1 {
+		t.Fatalf("counters = %v, want a=5 b=1", cs)
+	}
+	if _, ok := cs["zero"]; ok {
+		t.Fatal("zero-delta Add created a counter")
+	}
+	// SolverEvent bumps the stage/kind counter even in collect-only mode.
+	r.SolverEvent("global", 1, "cg-restart", 7, 1.5, 0.1)
+	r.SolverEvent("global", 1, "cg-restart", 9, 1.4, 0.1)
+	if got := r.Counter("global/cg-restart"); got != 2 {
+		t.Fatalf("global/cg-restart = %d, want 2", got)
+	}
+	r.Degrade("legalize", 3, "fallback")
+	if got := r.Counter("degradations"); got != 1 {
+		t.Fatalf("degradations = %d, want 1", got)
+	}
+}
+
+func TestTrajectoryCollection(t *testing.T) {
+	r := New()
+	r.Collect()
+	r.OuterIter("global", TrajectoryPoint{Outer: 0, HPWL: 100, Lambda: 1e-4})
+	r.OuterIter("global", TrajectoryPoint{Outer: 1, HPWL: 90, Lambda: 2e-4})
+	traj := r.Trajectory()
+	if len(traj) != 2 {
+		t.Fatalf("trajectory length = %d, want 2", len(traj))
+	}
+	if traj[0].HPWL != 100 || traj[1].Lambda != 2e-4 {
+		t.Fatalf("trajectory content wrong: %+v", traj)
+	}
+	// The returned slice is a copy.
+	traj[0].HPWL = -1
+	if r.Trajectory()[0].HPWL != 100 {
+		t.Fatal("Trajectory returned the internal slice, not a copy")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.SetTrace(&buf)
+	r.SolverIter("global", 2, 17, 123.5, 0.25)
+	r.SolverEvent("global", 2, "nan-rollback", 18, math.NaN(), 0.5)
+	r.OuterIter("global", TrajectoryPoint{Outer: 2, Inner: 40, HPWL: 99, Overflow: 0.3,
+		Objective: 123.5, Lambda: 1e-3, Alpha: 2, Gamma: 40})
+	r.Degrade("extract", 4, "degenerate group")
+	r.Event("legalize", "deadline")
+
+	evs := decodeTrace(t, &buf)
+
+	iters := ofKind(evs, "iter")
+	if len(iters) != 1 {
+		t.Fatalf("got %d iter events, want 1", len(iters))
+	}
+	it := iters[0]
+	if it["stage"] != "global" || it["outer"].(float64) != 2 ||
+		it["iter"].(float64) != 17 || it["f"].(float64) != 123.5 ||
+		it["gnorm"].(float64) != 0.25 {
+		t.Fatalf("iter event fields wrong: %v", it)
+	}
+
+	recs := ofKind(evs, "recovery")
+	if len(recs) != 1 {
+		t.Fatalf("got %d recovery events, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec["kind"] != "nan-rollback" {
+		t.Fatalf("recovery kind = %v", rec["kind"])
+	}
+	if rec["f"] != nil {
+		t.Fatalf("NaN objective should serialize as null, got %v", rec["f"])
+	}
+	if rec["step"].(float64) != 0.5 {
+		t.Fatalf("recovery step = %v, want 0.5", rec["step"])
+	}
+
+	outs := ofKind(evs, "outer")
+	if len(outs) != 1 {
+		t.Fatalf("got %d outer events, want 1", len(outs))
+	}
+	out := outs[0]
+	for k, want := range map[string]float64{
+		"outer": 2, "inner": 40, "hpwl": 99, "overflow": 0.3,
+		"objective": 123.5, "lambda": 1e-3, "alpha": 2, "gamma": 40,
+	} {
+		if out[k].(float64) != want {
+			t.Errorf("outer event %s = %v, want %v", k, out[k], want)
+		}
+	}
+
+	degs := ofKind(evs, "degrade")
+	if len(degs) != 1 || degs[0]["group"].(float64) != 4 ||
+		degs[0]["reason"] != "degenerate group" {
+		t.Fatalf("degrade event wrong: %v", degs)
+	}
+	marks := ofKind(evs, "event")
+	if len(marks) != 1 || marks[0]["stage"] != "legalize" || marks[0]["name"] != "deadline" {
+		t.Fatalf("marker event wrong: %v", marks)
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	var logBuf bytes.Buffer
+	r := New()
+	r.SetLog(&logBuf, Info)
+
+	if r.LogEnabled(Debug) {
+		t.Fatal("Debug enabled at Info threshold")
+	}
+	if !r.LogEnabled(Info) || !r.LogEnabled(Warn) || !r.LogEnabled(Error) {
+		t.Fatal("Info/Warn/Error should be enabled at Info threshold")
+	}
+	r.Logf(Debug, "global", "dropped %d", 1)
+	r.Logf(Warn, "global", "kept %d", 2)
+	out := logBuf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("debug line leaked past Info threshold: %q", out)
+	}
+	if !strings.Contains(out, "warn") || !strings.Contains(out, "kept 2") {
+		t.Fatalf("warn line malformed: %q", out)
+	}
+
+	// Log lines mirror into the trace when one is attached.
+	var traceBuf bytes.Buffer
+	r.SetTrace(&traceBuf)
+	r.Logf(Error, "core", "boom")
+	logs := ofKind(decodeTrace(t, &traceBuf), "log")
+	if len(logs) != 1 || logs[0]["level"] != "error" ||
+		logs[0]["stage"] != "core" || logs[0]["msg"] != "boom" {
+		t.Fatalf("trace log event wrong: %v", logs)
+	}
+
+	// Attaching only a log sink must not activate event recording.
+	r2 := New()
+	r2.SetLog(&logBuf, Debug)
+	if r2.Active() {
+		t.Fatal("SetLog alone turned event recording on")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{Debug: "debug", Info: "info", Warn: "warn", Error: "error"} {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	if From(nil) != nil {
+		t.Fatal("From(nil ctx) should be nil")
+	}
+	ctx := t.Context()
+	if From(ctx) != nil {
+		t.Fatal("From(plain ctx) should be nil")
+	}
+	r := New()
+	if got := From(NewContext(ctx, r)); got != r {
+		t.Fatal("recorder did not round-trip through context")
+	}
+	// NewContext with a nil recorder is the identity, so a nil recorder
+	// never masks an outer one.
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(ctx, nil) should return ctx unchanged")
+	}
+}
+
+func TestJFSanitization(t *testing.T) {
+	if jf(math.NaN()) != nil || jf(math.Inf(1)) != nil || jf(math.Inf(-1)) != nil {
+		t.Fatal("non-finite values must map to nil")
+	}
+	if v := jf(1.5); v == nil || *v != 1.5 {
+		t.Fatal("finite value must round-trip")
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+)
+
+// syncBuffer lets many goroutines write the final JSONL through one bufio
+// layer, mimicking the CLI's buffered trace file.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestConcurrentHammer drives every recorder entry point from many goroutines
+// at once. Run under -race it is the recorder's thread-safety proof; the
+// counter totals double as a lost-update check.
+func TestConcurrentHammer(t *testing.T) {
+	var sink syncBuffer
+	r := New()
+	r.SetTrace(&sink)
+	r.SetLog(io.Discard, Warn)
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			root := r.Span("worker")
+			for i := 0; i < iters; i++ {
+				r.Add("hits", 1)
+				r.SolverIter("global", w, i, float64(i), 0.5)
+				if i%10 == 0 {
+					r.SolverEvent("global", w, "cg-restart", i, float64(i), 0.1)
+				}
+				if i%25 == 0 {
+					r.OuterIter("global", TrajectoryPoint{Outer: i / 25, HPWL: float64(i)})
+					r.Logf(Warn, "global", "worker %d at %d", w, i)
+				}
+				child := root.Child("inner")
+				child.Add("visits", 1)
+				child.End()
+			}
+			root.Add("done", 1)
+			root.End()
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hits"); got != workers*iters {
+		t.Errorf("hits = %d, want %d (lost updates)", got, workers*iters)
+	}
+	if got := r.Counter("inner/visits"); got != workers*iters {
+		t.Errorf("inner/visits = %d, want %d", got, workers*iters)
+	}
+	if got := r.Counter("worker/done"); got != workers {
+		t.Errorf("worker/done = %d, want %d", got, workers)
+	}
+	if got := r.Counter("global/cg-restart"); got != workers*iters/10 {
+		t.Errorf("global/cg-restart = %d, want %d", got, workers*iters/10)
+	}
+	if got := len(r.Trajectory()); got != workers*iters/25 {
+		t.Errorf("trajectory points = %d, want %d", got, workers*iters/25)
+	}
+
+	// Concurrent emission must still yield one valid JSON object per line:
+	// interleaved torn writes would fail to parse.
+	sc := bufio.NewScanner(bytes.NewReader(sink.buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("torn JSONL line under concurrency: %q: %v", sc.Bytes(), err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no trace lines written")
+	}
+}

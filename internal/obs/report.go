@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReportSchema identifies the run-report JSON layout.
+const ReportSchema = "dpplace-run-report/v1"
+
+// RunReport is the machine-readable summary of one placement run: the final
+// quality numbers, per-stage timings, aggregated counters, degradations and
+// the λ-schedule trajectory. It is what -report writes and what the bench
+// harness stores as BENCH_*.json.
+type RunReport struct {
+	Schema  string `json:"schema"`
+	Design  string `json:"design"`
+	Mode    string `json:"mode"`
+	Exit    string `json:"exit"` // ok|timeout|diverged|degenerate-groups|malformed-input|error
+	Partial bool   `json:"partial,omitempty"`
+
+	HPWL         HPWLSummary        `json:"hpwl"`
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	Counters     map[string]int64   `json:"counters,omitempty"`
+	Degradations []DegradeEntry     `json:"degradations,omitempty"`
+	Trajectory   []TrajectoryPoint  `json:"trajectory,omitempty"`
+
+	// Metrics holds the evaluation report (metrics.Report) when the caller
+	// computed one. Typed as any so this package stays dependency-free.
+	Metrics any `json:"metrics,omitempty"`
+}
+
+// HPWLSummary carries the wirelength at each pipeline boundary.
+type HPWLSummary struct {
+	Global float64 `json:"global"`
+	Legal  float64 `json:"legal,omitempty"`
+	Final  float64 `json:"final"`
+}
+
+// DegradeEntry mirrors one graceful-degradation event in the report.
+type DegradeEntry struct {
+	Stage  string `json:"stage"`
+	Group  int    `json:"group"`
+	Reason string `json:"reason"`
+}
+
+// WriteReportFile writes the report as indented JSON.
+func WriteReportFile(path string, rep *RunReport) error {
+	if rep.Schema == "" {
+		rep.Schema = ReportSchema
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}

@@ -40,6 +40,35 @@ type Options struct {
 	// (NaN/Inf rollback, pathological line-search reset) before Minimize
 	// gives up and reports Diverged (default 3).
 	MaxRecoveries int
+	// OnEvent, when non-nil, observes solver health events — rollbacks,
+	// line-search resets, CG restarts, divergence. Callback sees only
+	// accepted iterates, so without this hook a diverged-then-recovered
+	// solve shows up as nothing but a gap in iteration numbers.
+	OnEvent func(Event)
+}
+
+// Event kinds reported through Options.OnEvent.
+const (
+	// EventNaNRollback: a non-finite objective or gradient forced a
+	// rollback to the best iterate with step damping.
+	EventNaNRollback = "nan-rollback"
+	// EventLineSearchReset: the Armijo search hit non-finite trial values
+	// (or an injected stall) and was reset from the best iterate.
+	EventLineSearchReset = "linesearch-reset"
+	// EventCGRestart: the conjugate direction stopped being a descent
+	// direction and the search restarted with steepest descent.
+	EventCGRestart = "cg-restart"
+	// EventDiverged: the health guard exhausted MaxRecoveries and gave up.
+	EventDiverged = "diverged"
+)
+
+// Event describes one solver health event.
+type Event struct {
+	Kind     string
+	Iter     int     // accepted iterations completed when the event fired
+	F        float64 // objective at the event (may be non-finite)
+	GradNorm float64 // RMS gradient norm at the event (may be non-finite)
+	Step     float64 // step scale after any damping
 }
 
 // Result reports the optimizer outcome.
@@ -114,6 +143,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 		if !isFinite(fx) || !isFinite(gg) {
 			if !isFinite(bestF) || consecutive >= opt.MaxRecoveries {
 				res.Diverged = true
+				if opt.OnEvent != nil {
+					opt.OnEvent(Event{Kind: EventDiverged, Iter: res.Iters,
+						F: fx, GradNorm: math.Sqrt(gg) / sqrtN, Step: step})
+				}
 				break
 			}
 			consecutive++
@@ -129,6 +162,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 				d[i] = -g[i]
 			}
 			step = math.Max(step*0.1, 1e-12)
+			if opt.OnEvent != nil {
+				opt.OnEvent(Event{Kind: EventNaNRollback, Iter: res.Iters,
+					F: fx, GradNorm: math.Sqrt(gg) / sqrtN, Step: step})
+			}
 			continue
 		}
 
@@ -147,6 +184,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 				d[i] = -g[i]
 			}
 			dg = -gg
+			if opt.OnEvent != nil {
+				opt.OnEvent(Event{Kind: EventCGRestart, Iter: res.Iters,
+					F: fx, GradNorm: gnorm, Step: step})
+			}
 		}
 		const c1 = 1e-4
 		alpha := step
@@ -187,6 +228,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 				// at a possibly poor iterate.
 				if consecutive >= opt.MaxRecoveries {
 					res.Diverged = pathological
+					if opt.OnEvent != nil && pathological {
+						opt.OnEvent(Event{Kind: EventDiverged, Iter: res.Iters,
+							F: fx, GradNorm: math.Sqrt(gg) / sqrtN, Step: step})
+					}
 					break
 				}
 				consecutive++
@@ -201,6 +246,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 					d[i] = -g[i]
 				}
 				step = math.Max(step*0.1, 1e-12)
+				if opt.OnEvent != nil {
+					opt.OnEvent(Event{Kind: EventLineSearchReset, Iter: res.Iters,
+						F: fx, GradNorm: math.Sqrt(gg) / sqrtN, Step: step})
+				}
 				continue
 			}
 			// Line search failed on a finite landscape: the gradient is either

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -52,10 +53,12 @@ func Improve(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Op
 	d := &improver{nl: nl, pl: pl, core: core, opt: opt}
 	d.buildAdjacency()
 
+	rec := obs.From(opt.Ctx)
 	res := Result{HPWLBefore: pl.HPWL(nl)}
 	for pass := 0; pass < opt.Passes; pass++ {
 		if pipeline.Expired(opt.Ctx) {
 			res.Partial = true
+			rec.Event("detail", "deadline")
 			break
 		}
 		moves := 0
@@ -63,15 +66,19 @@ func Improve(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, opt Op
 		if pipeline.Expired(opt.Ctx) {
 			res.Partial = true
 			res.Moves += moves
+			rec.Event("detail", "deadline")
 			break
 		}
 		moves += d.vSwapPass()
 		res.Moves += moves
+		rec.Logf(obs.Debug, "detail", "pass %d: %d moves", pass, moves)
 		if moves == 0 {
 			break
 		}
 	}
 	res.HPWLAfter = pl.HPWL(nl)
+	rec.Logf(obs.Debug, "detail", "HPWL %.0f → %.0f (%d moves)",
+		res.HPWLBefore, res.HPWLAfter, res.Moves)
 	return res
 }
 

@@ -91,9 +91,15 @@ func chainOrder(nl *netlist.Netlist, g AlignGroup, maxFanout int) []int {
 	used[start] = true
 	for len(order) < n {
 		last := order[len(order)-1]
+		// Argmax with an index tie break: map iteration order is randomized,
+		// and equal-coupling ties are common in regular datapaths, so a plain
+		// range argmax here made the whole placement nondeterministic.
 		best, bestW := -1, -1.0
 		for c, v := range w[last] {
-			if !used[c] && v > bestW {
+			if used[c] {
+				continue
+			}
+			if v > bestW || (v == bestW && (best < 0 || c < best)) {
 				best, bestW = c, v
 			}
 		}

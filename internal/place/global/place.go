@@ -8,6 +8,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pipeline"
 	"repro/internal/wirelength"
@@ -510,9 +511,34 @@ func gradL1(gx, gy []float64, nl *netlist.Netlist) float64 {
 	return s
 }
 
+// innerOpts assembles the inner-solver options for one λ stage, attaching
+// flight-recorder telemetry when recording is on: every accepted iterate and
+// every health event (rollback, line-search reset, CG restart, divergence)
+// lands in the trace. The callback only observes, so the iterate sequence is
+// bit-identical to an unrecorded run.
+func (e *engine) innerOpts(ctx context.Context, rec *obs.Recorder, outer int, stepInit float64) opt.Options {
+	oo := opt.Options{
+		MaxIter:  e.o.InnerIters,
+		GradTol:  1e-7,
+		StepInit: stepInit,
+		Ctx:      ctx,
+	}
+	if rec.Active() {
+		oo.Callback = func(iter int, f, gnorm float64) bool {
+			rec.SolverIter("global", outer, iter, f, gnorm)
+			return true
+		}
+		oo.OnEvent = func(ev opt.Event) {
+			rec.SolverEvent("global", outer, ev.Kind, ev.Iter, ev.F, ev.Step)
+		}
+	}
+	return oo
+}
+
 // run executes the λ-scheduled outer loop.
 func (e *engine) run(ctx context.Context) (Result, error) {
 	nl, pl := e.nl, e.pl
+	rec := obs.From(ctx)
 	v := make([]float64, e.nVars)
 	e.initVars(v)
 
@@ -568,6 +594,9 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 		if pipeline.Expired(ctx) {
 			res.Diagnostics.Partial = true
 			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
+			rec.Event("global", "deadline")
+			rec.Logf(obs.Warn, "global",
+				"deadline expired at outer %d; committing best iterate", outer)
 			break
 		}
 		frac := float64(outer) / math.Max(1, float64(e.o.MaxOuterIters-1))
@@ -577,15 +606,11 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 		}
 		e.model.SetGamma(gamma)
 
-		r := opt.Minimize(e.eval, v, opt.Options{
-			MaxIter:  e.o.InnerIters,
-			GradTol:  1e-7,
-			StepInit: e.stepInit(v),
-			Ctx:      ctx,
-		})
+		r := opt.Minimize(e.eval, v, e.innerOpts(ctx, rec, outer, e.stepInit(v)))
 		res.FuncEvals += r.FuncEvals
 		res.OuterIters = outer + 1
 		res.Diagnostics.Recoveries += r.Recoveries
+		rec.Add("global/recoveries", int64(r.Recoveries))
 
 		if r.Diverged || !finiteVec(v) {
 			// The inner solve blew up beyond its own recovery budget: roll
@@ -604,9 +629,15 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 				e.alpha = math.Max(alpha0, e.alpha*0.25)
 			}
 			gammaBoost *= 2
+			rec.SolverEvent("global", outer, "outer-rollback", r.Iters, r.F, 0)
+			rec.SolverEvent("global", outer, "re-anneal", r.Iters, r.F, e.lambda)
+			rec.Logf(obs.Warn, "global",
+				"inner solve diverged at outer %d; rolled back and re-annealed (λ→%.3g, γ boost ×%g)",
+				outer, e.lambda, gammaBoost)
 			if diverged >= 2 {
 				res.Diagnostics.Diverged = true
 				stageErr = pipeline.StageError("global", pipeline.ErrDiverged)
+				rec.Logf(obs.Warn, "global", "health guard gave up after %d diverged stages", diverged)
 				break
 			}
 			continue
@@ -634,6 +665,20 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 				Alpha:     e.alpha,
 			})
 		}
+		if rec.Active() {
+			e.unpack(v)
+			rec.OuterIter("global", obs.TrajectoryPoint{
+				Outer:     outer,
+				Inner:     r.Iters,
+				HPWL:      pl.HPWL(nl),
+				Overflow:  ov,
+				AlignRMS:  AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull),
+				Objective: r.F,
+				Lambda:    e.lambda,
+				Alpha:     e.alpha,
+				Gamma:     gamma,
+			})
+		}
 		if r.Stopped {
 			res.Diagnostics.Partial = true
 			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
@@ -659,14 +704,11 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	// best iterate is worth more than a polish under a blown budget.
 	if stageErr == nil && !e.hard && len(e.o.Groups) > 0 && e.alpha > 0 {
 		e.alpha *= 64
-		r := opt.Minimize(e.eval, v, opt.Options{
-			MaxIter:  e.o.InnerIters,
-			GradTol:  1e-7,
-			StepInit: e.stepInit(v),
-			Ctx:      ctx,
-		})
+		// Outer index -1 marks the soft-alignment polish solve in the trace.
+		r := opt.Minimize(e.eval, v, e.innerOpts(ctx, rec, -1, e.stepInit(v)))
 		res.FuncEvals += r.FuncEvals
 		res.Diagnostics.Recoveries += r.Recoveries
+		rec.Add("global/recoveries", int64(r.Recoveries))
 		if r.Stopped {
 			res.Diagnostics.Partial = true
 			stageErr = pipeline.StageError("global", pipeline.ErrTimeout)
@@ -680,6 +722,9 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	res.HPWL = pl.HPWL(nl)
 	res.Overflow = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
 	res.AlignRMS = AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull)
+	rec.Logf(obs.Debug, "global",
+		"done: %d outer iters, %d evals, HPWL %.0f, overflow %.3f, align RMS %.3f",
+		res.OuterIters, res.FuncEvals, res.HPWL, res.Overflow, res.AlignRMS)
 	return res, stageErr
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/place/global"
 )
@@ -59,15 +60,20 @@ func LegalizeCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement
 	sort.SliceStable(groups, func(a, b int) bool {
 		return groupCells(groups[a]) > groupCells(groups[b])
 	})
+	rec := obs.From(ctx)
 	inBlock := make([]bool, nl.NumCells())
-	for _, g := range groups {
+	for gi, g := range groups {
 		if pipeline.Expired(ctx) {
+			rec.Event("legalize", "deadline")
 			return res, pipeline.StageError("legalize", pipeline.ErrTimeout)
 		}
 		if l.placeGroup(g, inBlock) {
 			res.GroupBlocks++
 		} else {
 			res.GroupFallbacks++
+			rec.Event("legalize", "group-fallback")
+			rec.Logf(obs.Debug, "legalize", "group %d (size %d): no rigid-block fit, dissolving",
+				gi, groupCells(g))
 		}
 	}
 

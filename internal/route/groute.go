@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -130,6 +131,11 @@ func GlobalRouteCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placem
 		return la < lb
 	})
 
+	rec := obs.From(ctx)
+	sp := rec.Span("route")
+	sp.Add("segments", int64(len(segs)))
+	sp.Add("skipped_nets", int64(res.SkippedNets))
+
 	r.paths = make([][]grEdgeRef, len(segs))
 	for si := range segs {
 		if si%1024 == 0 && pipeline.Expired(ctx) {
@@ -156,10 +162,13 @@ func GlobalRouteCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placem
 			r.apply(r.paths[si], 1)
 			rerouted++
 		}
+		sp.Add("rerouted", int64(rerouted))
+		rec.Logf(obs.Debug, "route", "rip-up pass %d: %d segments rerouted", pass, rerouted)
 		if rerouted == 0 {
 			break
 		}
 	}
+	defer sp.End()
 
 	// Collect metrics.
 	for si := range segs {

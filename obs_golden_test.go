@@ -1,0 +1,156 @@
+package dpplace_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	dpplace "repro"
+)
+
+// goldenBench regenerates the same deterministic benchmark for each run, so
+// every placement starts from an identical netlist and initial placement.
+func goldenBench() *dpplace.Benchmark {
+	return dpplace.Generate(dpplace.BenchConfig{
+		Name: "golden", Seed: 23, Bits: 8,
+		Units:       []dpplace.UnitKind{dpplace.Adder, dpplace.RegBank},
+		RandomCells: 200,
+	})
+}
+
+func goldenPlace(t *testing.T, ctx context.Context) *dpplace.Result {
+	t.Helper()
+	bench := goldenBench()
+	res, err := dpplace.PlaceCtx(ctx, bench.Netlist, bench.Core, bench.Placement,
+		dpplace.Options{Mode: dpplace.StructureAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func samePlacement(t *testing.T, label string, a, b *dpplace.Placement) {
+	t.Helper()
+	if len(a.X) != len(b.X) {
+		t.Fatalf("%s: placement sizes differ: %d vs %d", label, len(a.X), len(b.X))
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("%s: cell %d moved: (%v,%v) vs (%v,%v) — tracing must be passive",
+				label, i, a.X[i], a.Y[i], b.X[i], b.Y[i])
+		}
+	}
+}
+
+// TestTracingIsPassive is the golden test of the observability layer: a run
+// with no recorder, a run with a disabled recorder, and a fully traced run
+// must produce bit-identical placements.
+func TestTracingIsPassive(t *testing.T) {
+	plain := goldenPlace(t, context.Background())
+
+	disabled := dpplace.NewRecorder()
+	resDisabled := goldenPlace(t, dpplace.WithRecorder(context.Background(), disabled))
+	samePlacement(t, "disabled recorder", plain.Placement, resDisabled.Placement)
+
+	var trace bytes.Buffer
+	enabled := dpplace.NewRecorder()
+	enabled.SetTrace(&trace)
+	resTraced := goldenPlace(t, dpplace.WithRecorder(context.Background(), enabled))
+	samePlacement(t, "enabled recorder", plain.Placement, resTraced.Placement)
+
+	// The disabled recorder must have stayed empty.
+	if len(disabled.Counters()) != 0 {
+		t.Errorf("disabled recorder accumulated counters: %v", disabled.Counters())
+	}
+
+	// The trace must actually contain the flow's telemetry.
+	type ev struct {
+		Ev    string `json:"ev"`
+		Name  string `json:"name"`
+		Stage string `json:"stage"`
+	}
+	spans := map[string]int{}
+	iters, outers := 0, 0
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(trace.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		lines++
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Bytes(), err)
+		}
+		switch e.Ev {
+		case "span":
+			spans[e.Name]++
+		case "iter":
+			iters++
+		case "outer":
+			outers++
+		}
+	}
+	for _, want := range []string{"place", "extract", "global", "legalize", "detail"} {
+		if spans[want] == 0 {
+			t.Errorf("trace has no %q span (spans: %v)", want, spans)
+		}
+	}
+	if iters == 0 {
+		t.Error("trace has no solver iter events")
+	}
+	if outers == 0 {
+		t.Error("trace has no λ-schedule outer events")
+	}
+	if got := len(enabled.Trajectory()); got != outers {
+		t.Errorf("in-memory trajectory has %d points, trace has %d outer events",
+			got, outers)
+	}
+	if enabled.Counter("global/outer_iters") == 0 {
+		t.Errorf("global span counters did not roll up: %v", enabled.Counters())
+	}
+	t.Logf("trace: %d lines, %d iters, %d outers, spans %v", lines, iters, outers, spans)
+}
+
+// TestCollectModeReport asserts -report-style collection works without a
+// trace sink: counters and trajectory aggregate in memory.
+func TestCollectModeReport(t *testing.T) {
+	rec := dpplace.NewRecorder()
+	rec.Collect()
+	res := goldenPlace(t, dpplace.WithRecorder(context.Background(), rec))
+
+	if len(rec.Trajectory()) == 0 {
+		t.Error("collect mode gathered no trajectory")
+	}
+	cs := rec.Counters()
+	if len(cs) == 0 {
+		t.Fatal("collect mode gathered no counters")
+	}
+	if cs["extract/groups"] == 0 {
+		t.Errorf("extract/groups counter missing: %v", cs)
+	}
+	if cs["global/outer_iters"] == 0 {
+		t.Errorf("global/outer_iters counter missing: %v", cs)
+	}
+
+	rep := &dpplace.RunReport{
+		Design: "golden", Mode: "structure-aware", Exit: "ok",
+		Counters:   cs,
+		Trajectory: rec.Trajectory(),
+	}
+	rep.HPWL.Final = res.Placement.HPWL(goldenBench().Netlist)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dpplace.RunReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Design != "golden" || len(back.Trajectory) != len(rep.Trajectory) {
+		t.Fatalf("run report did not round-trip: %+v", back)
+	}
+}
