@@ -8,11 +8,17 @@ COVER_FLOOR ?= 78
 # Where `make bench` generates its design and profiles.
 BENCH_DIR ?= /tmp/dpplace-bench
 
-.PHONY: all check fmt vet build test race fuzz-smoke cover bench
+.PHONY: all check fmt vet build test race fuzz-smoke cover bench bench-workers docs-lint
 
 all: check
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build docs-lint race fuzz-smoke
+
+# Documentation bar: every package carries a package-level doc comment and
+# every exported identifier is documented (internal/tools/docslint — no
+# external linter dependency).
+docs-lint:
+	$(GO) run ./internal/tools/docslint
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -57,6 +63,24 @@ bench:
 		-report BENCH_baseline.json $(BENCH_DIR)/bench.aux
 	@echo "wrote BENCH_structure_aware.json, BENCH_baseline.json and" \
 		"BENCH_structure_aware_trace.jsonl"
+	$(MAKE) bench-workers
+	$(GO) test -run '^$$' -bench 'BenchmarkLineSearchProbe' -benchmem \
+		./internal/place/global | tee BENCH_linesearch_cache.txt
+	$(GO) run ./internal/tools/benchsum -linesearch BENCH_linesearch_cache.txt \
+		BENCH_linesearch_cache.json
+
+# Worker-count sweep: place the same design at -workers 1,2,4,8, record one
+# run report each, then let benchsum fill parallel_speedup (global-stage
+# wall clock relative to the workers=1 run) into every report. Placements
+# are bit-identical across the sweep, so only the timings move.
+bench-workers:
+	@mkdir -p $(BENCH_DIR)
+	@for w in 1 2 4 8; do \
+		$(GO) run ./cmd/dpplace -quiet -workers $$w \
+			-report BENCH_workers_$$w.json $(BENCH_DIR)/bench.aux || exit 1; \
+	done
+	$(GO) run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json \
+		BENCH_workers_4.json BENCH_workers_8.json
 
 # Short smoke run of each native fuzz target (go allows one -fuzz per
 # invocation, so they run sequentially).

@@ -5,9 +5,15 @@
 //
 //	dpplace [-mode structure-aware|baseline] [-model wa|lse] [-out out.pl]
 //	        [-outer 24] [-inner 50] [-timeout 0] [-on-degrade fallback|fail]
-//	        [-trace run.jsonl] [-report out.json] [-v] [-quiet]
+//	        [-workers N] [-trace run.jsonl] [-report out.json] [-v] [-quiet]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof :6060]
 //	        design.aux
+//
+// Performance: -workers shards the analytical placer's hot paths (WA
+// wirelength, density, routing estimates) across a bounded worker pool.
+// 0 (the default) uses every core; 1 runs the exact serial path. The
+// placement is bit-identical at every worker count — parallelism only
+// trades wall clock for cores — so sweeping -workers is always safe.
 //
 // Observability: -trace writes the flight-recorder JSONL trace (stage spans,
 // per-iteration solver telemetry, λ-schedule trajectory, health events);
@@ -41,6 +47,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bookshelf"
 	"repro/internal/core"
@@ -99,26 +106,95 @@ func main() {
 	os.Exit(run())
 }
 
+// cliFlags holds every dpplace flag value. Flags are registered through
+// registerFlags so the usage text and the README drift test share one source
+// of truth.
+type cliFlags struct {
+	mode       *string
+	model      *string
+	outPl      *string
+	outSVG     *string
+	outer      *int
+	inner      *int
+	timeout    *time.Duration
+	onDegrade  *string
+	workers    *int
+	tracePath  *string
+	reportPath *string
+	verbose    *bool
+	quiet      *bool
+	cpuProfile *string
+	memProfile *string
+	pprofAddr  *string
+}
+
+// flagGroups themes the usage text. Every registered flag must appear in
+// exactly one group (TestUsageGroupsCoverAllFlags enforces it).
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"Run control", []string{"mode", "model", "out", "svg", "outer", "inner", "timeout", "on-degrade"}},
+	{"Performance", []string{"workers", "cpuprofile", "memprofile", "pprof"}},
+	{"Observability", []string{"trace", "report", "v", "quiet"}},
+}
+
+// registerFlags declares dpplace's flags on fs and returns their values.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	f := &cliFlags{}
+	f.mode = fs.String("mode", "structure-aware", "placement mode: structure-aware or baseline")
+	f.model = fs.String("model", "wa", "smooth wirelength model: wa or lse")
+	f.outPl = fs.String("out", "", "output .pl path (default: stdout summary only)")
+	f.outSVG = fs.String("svg", "", "render the final placement to this SVG path")
+	f.outer = fs.Int("outer", 24, "max outer (λ-schedule) iterations")
+	f.inner = fs.Int("inner", 50, "conjugate-gradient iterations per stage")
+	f.timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
+	f.onDegrade = fs.String("on-degrade", "fallback",
+		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
+	f.workers = fs.Int("workers", 0,
+		"worker count for the parallel hot paths (0 = all cores, 1 = serial; placements are bit-identical at every setting)")
+	f.tracePath = fs.String("trace", "", "write the flight-recorder JSONL trace to this path")
+	f.reportPath = fs.String("report", "", "write the machine-readable run report (JSON) to this path")
+	f.verbose = fs.Bool("v", false, "debug logging on stderr")
+	f.quiet = fs.Bool("quiet", false, "warnings only on stderr; suppress the stdout summary")
+	f.cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+	f.memProfile = fs.String("memprofile", "", "write a heap profile to this path at exit")
+	f.pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	fs.Usage = func() { printUsage(fs) }
+	return f
+}
+
+// printUsage writes the themed usage text: flags grouped by what the user is
+// trying to do, instead of one flat alphabetical wall.
+func printUsage(fs *flag.FlagSet) {
+	w := fs.Output()
+	fmt.Fprintf(w, "usage: dpplace [flags] design.aux\n\n")
+	fmt.Fprintf(w, "Place a Bookshelf design with the structure-aware flow and write the\nlegal placement back out.\n")
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			fl := fs.Lookup(name)
+			if fl == nil {
+				continue
+			}
+			def := ""
+			if fl.DefValue != "" && fl.DefValue != "false" && fl.DefValue != "0" && fl.DefValue != "0s" {
+				def = fmt.Sprintf(" (default %s)", fl.DefValue)
+			}
+			fmt.Fprintf(w, "  -%s\n        %s%s\n", fl.Name, fl.Usage, def)
+		}
+	}
+}
+
 // run is main with deferred cleanup intact: profiles and the trace buffer
 // flush on every exit path, which os.Exit inside the body would skip.
 func run() int {
-	mode := flag.String("mode", "structure-aware", "placement mode: structure-aware or baseline")
-	model := flag.String("model", "wa", "smooth wirelength model: wa or lse")
-	outPl := flag.String("out", "", "output .pl path (default: stdout summary only)")
-	outSVG := flag.String("svg", "", "render the final placement to this SVG path")
-	outer := flag.Int("outer", 24, "max outer (λ-schedule) iterations")
-	inner := flag.Int("inner", 50, "conjugate-gradient iterations per stage")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
-	onDegrade := flag.String("on-degrade", "fallback",
-		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
-	tracePath := flag.String("trace", "", "write the flight-recorder JSONL trace to this path")
-	reportPath := flag.String("report", "", "write the machine-readable run report (JSON) to this path")
-	verbose := flag.Bool("v", false, "debug logging on stderr")
-	quiet := flag.Bool("quiet", false, "warnings only on stderr; suppress the stdout summary")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
+	mode, model, outPl, outSVG := f.mode, f.model, f.outPl, f.outSVG
+	outer, inner, timeout, onDegrade := f.outer, f.inner, f.timeout, f.onDegrade
+	tracePath, reportPath, verbose, quiet := f.tracePath, f.reportPath, f.verbose, f.quiet
+	cpuProfile, memProfile, pprofAddr := f.cpuProfile, f.memProfile, f.pprofAddr
 
 	rec := obs.New()
 	level := obs.Info
@@ -135,7 +211,7 @@ func run() int {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dpplace [flags] design.aux")
+		flag.Usage()
 		return exitUsage
 	}
 
@@ -205,6 +281,7 @@ func run() int {
 			WLModel:       *model,
 			MaxOuterIters: *outer,
 			InnerIters:    *inner,
+			Workers:       *f.workers,
 		},
 	}
 	switch *mode {
@@ -232,7 +309,8 @@ func run() int {
 
 	var rep *metrics.Report
 	if res.LegalityChecked {
-		r := metrics.Evaluate(d.Netlist, res.Placement, d.Core, metrics.Options{Obs: rec})
+		r := metrics.Evaluate(d.Netlist, res.Placement, d.Core,
+			metrics.Options{Obs: rec, Workers: *f.workers})
 		rep = &r
 	}
 
@@ -343,6 +421,7 @@ func writeReport(path, design string, mode core.Mode, res *core.Result, rep *met
 		Mode:    mode.String(),
 		Exit:    exitName(runErr),
 		Partial: res.Partial,
+		Workers: res.GlobalResult.Workers,
 		HPWL: obs.HPWLSummary{
 			Global: res.HPWLGlobal,
 			Legal:  res.HPWLLegal,

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// registered returns the set of flag names declared by registerFlags.
+func registered(t *testing.T) map[string]bool {
+	t.Helper()
+	fs := flag.NewFlagSet("dpplace", flag.ContinueOnError)
+	registerFlags(fs)
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}
+
+// TestUsageGroupsCoverAllFlags asserts every registered flag appears in
+// exactly one usage group, and every grouped name is a real flag — so the
+// themed -h output can never silently drop a flag.
+func TestUsageGroupsCoverAllFlags(t *testing.T) {
+	names := registered(t)
+	seen := map[string]string{}
+	for _, g := range flagGroups {
+		for _, name := range g.names {
+			if !names[name] {
+				t.Errorf("group %q lists unknown flag -%s", g.title, name)
+			}
+			if prev, dup := seen[name]; dup {
+				t.Errorf("flag -%s appears in groups %q and %q", name, prev, g.title)
+			}
+			seen[name] = g.title
+		}
+	}
+	for name := range names {
+		if _, ok := seen[name]; !ok {
+			t.Errorf("flag -%s is registered but missing from every usage group", name)
+		}
+	}
+}
+
+// TestUsageTextListsAllFlags renders the grouped usage and checks each flag
+// and each group title actually appears in it.
+func TestUsageTextListsAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("dpplace", flag.ContinueOnError)
+	registerFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	printUsage(fs)
+	text := buf.String()
+	for _, g := range flagGroups {
+		if !strings.Contains(text, g.title+":") {
+			t.Errorf("usage text is missing the %q group header", g.title)
+		}
+	}
+	for name := range registered(t) {
+		if !strings.Contains(text, "\n  -"+name+"\n") {
+			t.Errorf("usage text is missing -%s", name)
+		}
+	}
+}
+
+// TestReadmeFlagTableMatchesFlags is the drift test between the README's
+// dpplace flag tables and the flags the binary registers: every table row
+// must name a real flag, and every flag must have a row.
+func TestReadmeFlagTableMatchesFlags(t *testing.T) {
+	f, err := os.Open("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A dpplace flag row looks like "| `-name` | effect |". The README also
+	// documents other tools' flags inline in prose-style cells; only leading
+	// backticked flag cells count as rows of the dpplace tables.
+	row := regexp.MustCompile("^\\| `-([a-z-]+)` \\|")
+	documented := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := row.FindStringSubmatch(sc.Text()); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := registered(t)
+	for name := range names {
+		if !documented[name] {
+			t.Errorf("flag -%s is registered but has no row in README.md", name)
+		}
+	}
+	for name := range documented {
+		if !names[name] {
+			t.Errorf("README.md documents -%s but dpplace does not register it", name)
+		}
+	}
+}

@@ -53,6 +53,7 @@ const (
 	StructureAware
 )
 
+// String names the mode for logs and reports.
 func (m Mode) String() string {
 	if m == StructureAware {
 		return "structure-aware"

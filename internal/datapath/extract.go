@@ -29,6 +29,7 @@ func (g *Group) Stages() int { return len(g.Columns) }
 // NumCells returns Bits × Stages.
 func (g *Group) NumCells() int { return g.Bits() * g.Stages() }
 
+// String summarizes the group's shape.
 func (g *Group) String() string {
 	return fmt.Sprintf("group{%d bits × %d stages}", g.Bits(), g.Stages())
 }

@@ -5,10 +5,12 @@
 package density
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // Map holds per-bin area accumulations over a grid.
@@ -107,6 +109,18 @@ type Potential struct {
 	target []float64 // per-bin target area T_b
 	dens   []float64 // scratch: per-bin spread density D_b
 	diff   []float64 // scratch: D_b − T_b
+
+	// Parallel execution state (SetParallel). pool == nil runs inline.
+	pool *par.Pool
+	ctx  context.Context
+
+	// Per-Eval scratch, sized on first use.
+	movable  []int32   // indices of movable cells, ascending
+	norm     []float64 // per-movable-cell kernel normalization at current centers
+	effW     []float64 // per-movable-cell effective kernel width
+	effH     []float64 // per-movable-cell effective kernel height
+	rowStart []int     // CSR offsets into rowCells, one per grid row (+1)
+	rowCells []int32   // movable-list indices whose kernel touches the row, ascending
 }
 
 // NewPotential prepares a potential for nl over grid with the given target
@@ -167,22 +181,88 @@ func bell(d, w, wb float64) (p, dp float64) {
 	return b * t * t, 2 * b * t * sign
 }
 
+// SetParallel attaches a worker pool (and the context it polls) to the
+// potential. Subsequent Eval calls shard their passes across the pool; a nil
+// pool (the default) keeps evaluation inline on the calling goroutine. The
+// parallel schedule never changes the result: every floating-point
+// accumulation order is fixed by cell and bin indices, not by worker count
+// (see package par). When the context expires mid-evaluation Eval returns
+// NaN, which the optimizer's numerical-health guard already treats as a
+// rejected iterate; the caller's own context polling then stops the solve.
+func (p *Potential) SetParallel(pool *par.Pool, ctx context.Context) {
+	p.pool = pool
+	p.ctx = ctx
+}
+
 // Eval computes N at the cell centers (cx, cy), parallel to nl.Cells, and
 // adds ∂N/∂cx into gx and ∂N/∂cy into gy when they are non-nil. Fixed cells
 // contribute nothing (their blockage already lowered the targets).
+//
+// Evaluation runs in four passes — per-cell kernel normalization, density
+// splat tiled by bin rows, the serial objective sum, and the per-cell
+// gradient chain rule — so the first, second and fourth can run on the pool
+// installed with SetParallel while each bin and each gradient slot still
+// sees its contributions in a fixed order.
 func (p *Potential) Eval(cx, cy []float64, gx, gy []float64) float64 {
 	g := p.grid
+	p.ensureScratch()
+
+	// Pass 1: per-cell kernel normalization at the current centers (pure
+	// per-cell function; embarrassingly parallel). The footprint row index
+	// for pass 2 rides along.
+	if err := p.pool.Run(p.ctx, len(p.movable), 64, func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			ci := int(p.movable[mi])
+			cell := &p.nl.Cells[ci]
+			p.norm[mi] = p.cellNorm(cx[ci], cy[ci], p.effW[mi], p.effH[mi], cell.Area())
+		}
+	}); err != nil {
+		return math.NaN()
+	}
+
+	// Row index: for every grid row, the movable cells whose kernel support
+	// touches it, in ascending cell order. Built serially (no bell
+	// evaluations, just arithmetic) so the fill order is deterministic.
+	p.buildRowIndex(cx, cy)
+
+	// Pass 2: density splat, tiled by bin rows. Each row's bins are owned by
+	// exactly one worker, and within a row cells are visited in ascending
+	// order — the same per-bin accumulation order as a serial cell loop, so
+	// the sum per bin is bit-identical at every worker count.
 	for i := range p.dens {
 		p.dens[i] = 0
 	}
-	// First pass: accumulate spread density.
-	for ci := range p.nl.Cells {
-		cell := &p.nl.Cells[ci]
-		if cell.Fixed {
-			continue
+	if err := p.pool.Run(p.ctx, g.NY, 2, func(loRow, hiRow int) {
+		for j := loRow; j < hiRow; j++ {
+			by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
+			for _, mi := range p.rowCells[p.rowStart[j]:p.rowStart[j+1]] {
+				norm := p.norm[mi]
+				if norm == 0 {
+					continue
+				}
+				ci := int(p.movable[mi])
+				x0 := cx[ci]
+				w := p.effW[mi]
+				py, _ := bell(cy[ci]-by, p.effH[mi], g.BinH)
+				if py == 0 {
+					continue
+				}
+				i0, i1 := p.xRange(x0, w)
+				for bi := i0; bi < i1; bi++ {
+					bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
+					px, _ := bell(x0-bx, w, g.BinW)
+					if px == 0 {
+						continue
+					}
+					p.dens[g.Index(bi, j)] += norm * px * py
+				}
+			}
 		}
-		p.splat(ci, cx[ci], cy[ci], cell.W, cell.H)
+	}); err != nil {
+		return math.NaN()
 	}
+
+	// Pass 3: objective. Serial, in bin order, exactly as before.
 	n := 0.0
 	for i := range p.dens {
 		d := p.dens[i] - p.target[i]
@@ -192,42 +272,132 @@ func (p *Potential) Eval(cx, cy []float64, gx, gy []float64) float64 {
 	if gx == nil && gy == nil {
 		return n
 	}
-	// Second pass: chain rule through each cell's kernel footprint.
-	for ci := range p.nl.Cells {
-		cell := &p.nl.Cells[ci]
-		if cell.Fixed {
-			continue
-		}
-		w, h := effSize(cell.W, g.BinW), effSize(cell.H, g.BinH)
-		norm := p.cellNorm(cx[ci], cy[ci], w, h, cell.Area())
-		x0, y0 := cx[ci], cy[ci]
-		i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
-		var dx, dy float64
-		for j := j0; j < j1; j++ {
-			by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
-			py, dpy := bell(y0-by, h, g.BinH)
-			if py == 0 && dpy == 0 {
-				continue
-			}
-			for bi := i0; bi < i1; bi++ {
-				bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
-				px, dpx := bell(x0-bx, w, g.BinW)
-				if px == 0 && dpx == 0 {
+
+	// Pass 4: chain rule through each cell's kernel footprint. Each cell
+	// accumulates into its own gradient slot, so cells shard freely.
+	if err := p.pool.Run(p.ctx, len(p.movable), 64, func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			ci := int(p.movable[mi])
+			w, h := p.effW[mi], p.effH[mi]
+			norm := p.norm[mi]
+			x0, y0 := cx[ci], cy[ci]
+			i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
+			var dx, dy float64
+			for j := j0; j < j1; j++ {
+				by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
+				py, dpy := bell(y0-by, h, g.BinH)
+				if py == 0 && dpy == 0 {
 					continue
 				}
-				d := p.diff[g.Index(bi, j)]
-				dx += 2 * d * norm * dpx * py
-				dy += 2 * d * norm * px * dpy
+				for bi := i0; bi < i1; bi++ {
+					bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
+					px, dpx := bell(x0-bx, w, g.BinW)
+					if px == 0 && dpx == 0 {
+						continue
+					}
+					d := p.diff[g.Index(bi, j)]
+					dx += 2 * d * norm * dpx * py
+					dy += 2 * d * norm * px * dpy
+				}
+			}
+			if gx != nil {
+				gx[ci] += dx
+			}
+			if gy != nil {
+				gy[ci] += dy
 			}
 		}
-		if gx != nil {
-			gx[ci] += dx
-		}
-		if gy != nil {
-			gy[ci] += dy
-		}
+	}); err != nil {
+		return math.NaN()
 	}
 	return n
+}
+
+// ensureScratch sizes the movable-cell scratch on first use. Cell sizes and
+// the movable set are immutable for the lifetime of a Potential, so the
+// effective kernel sizes are computed once here.
+func (p *Potential) ensureScratch() {
+	if p.movable != nil {
+		return
+	}
+	g := p.grid
+	p.movable = make([]int32, 0, len(p.nl.Cells))
+	for ci := range p.nl.Cells {
+		if !p.nl.Cells[ci].Fixed {
+			p.movable = append(p.movable, int32(ci))
+		}
+	}
+	p.norm = make([]float64, len(p.movable))
+	p.effW = make([]float64, len(p.movable))
+	p.effH = make([]float64, len(p.movable))
+	for mi, ci := range p.movable {
+		p.effW[mi] = effSize(p.nl.Cells[ci].W, g.BinW)
+		p.effH[mi] = effSize(p.nl.Cells[ci].H, g.BinH)
+	}
+	p.rowStart = make([]int, g.NY+1)
+}
+
+// buildRowIndex fills rowStart/rowCells with, per grid row, the movable
+// cells whose kernel support overlaps it, in ascending movable order.
+func (p *Potential) buildRowIndex(cx, cy []float64) {
+	g := p.grid
+	for i := range p.rowStart {
+		p.rowStart[i] = 0
+	}
+	for mi, ci := range p.movable {
+		j0, j1 := p.yRange(cy[ci], p.effH[mi])
+		for j := j0; j < j1; j++ {
+			p.rowStart[j+1]++
+		}
+	}
+	total := 0
+	for j := 0; j < g.NY; j++ {
+		total += p.rowStart[j+1]
+		p.rowStart[j+1] = total
+	}
+	if cap(p.rowCells) < total {
+		p.rowCells = make([]int32, total)
+	}
+	p.rowCells = p.rowCells[:total]
+	fill := make([]int, g.NY)
+	copy(fill, p.rowStart[:g.NY])
+	for mi, ci := range p.movable {
+		j0, j1 := p.yRange(cy[ci], p.effH[mi])
+		for j := j0; j < j1; j++ {
+			p.rowCells[fill[j]] = int32(mi)
+			fill[j]++
+		}
+	}
+}
+
+// xRange returns the clamped bin columns covered by the kernel support of a
+// cell centered at x0; identical to footprint's i-range.
+func (p *Potential) xRange(x0, w float64) (i0, i1 int) {
+	g := p.grid
+	rx := w/2 + 2*g.BinW
+	i0 = int(math.Floor((x0 - rx - g.Region.Lo.X) / g.BinW))
+	i1 = int(math.Ceil((x0 + rx - g.Region.Lo.X) / g.BinW))
+	return clampInt(i0, 0, g.NX), clampInt(i1, 0, g.NX)
+}
+
+// yRange returns the clamped bin rows covered by the kernel support of a
+// cell centered at y0; identical to footprint's j-range.
+func (p *Potential) yRange(y0, h float64) (j0, j1 int) {
+	g := p.grid
+	ry := h/2 + 2*g.BinH
+	j0 = int(math.Floor((y0 - ry - g.Region.Lo.Y) / g.BinH))
+	j1 = int(math.Ceil((y0 + ry - g.Region.Lo.Y) / g.BinH))
+	return clampInt(j0, 0, g.NY), clampInt(j1, 0, g.NY)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // effSize inflates very small cells to the bin size so their kernel support
@@ -285,33 +455,6 @@ func (p *Potential) cellNorm(x0, y0, w, h, area float64) float64 {
 		return 0
 	}
 	return area / sum
-}
-
-// splat adds one cell's bell-kernel contribution into p.dens.
-func (p *Potential) splat(ci int, x0, y0, cw, ch float64) {
-	g := p.grid
-	w, h := effSize(cw, g.BinW), effSize(ch, g.BinH)
-	area := cw * ch
-	norm := p.cellNorm(x0, y0, w, h, area)
-	if norm == 0 {
-		return
-	}
-	i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
-	for j := j0; j < j1; j++ {
-		by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
-		py, _ := bell(y0-by, h, g.BinH)
-		if py == 0 {
-			continue
-		}
-		for bi := i0; bi < i1; bi++ {
-			bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
-			px, _ := bell(x0-bx, w, g.BinW)
-			if px == 0 {
-				continue
-			}
-			p.dens[g.Index(bi, j)] += norm * px * py
-		}
-	}
 }
 
 // Grid returns the potential's bin grid.

@@ -1,12 +1,14 @@
 package density
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // gridDesign builds nCells unit-square movable cells on a 100x100 core.
@@ -298,4 +300,63 @@ func BenchmarkPotentialEval(b *testing.B) {
 
 func benchName(i int) string {
 	return "b" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}
+
+// TestPotentialParallelMatchesSerial asserts the row-tiled parallel
+// evaluation is bit-identical to the serial one at several worker counts,
+// with and without gradients.
+func TestPotentialParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nl := netlist.New("par")
+	const n = 300
+	for i := 0; i < n; i++ {
+		nl.MustAddCell(cellName(i)+"p", "STD", 2+rng.Float64()*18, 4, i%11 == 0)
+	}
+	pl := netlist.NewPlacement(nl)
+	g := geom.NewGrid(geom.NewRect(0, 0, 100, 100), 16, 16)
+	cx := make([]float64, n)
+	cy := make([]float64, n)
+	for i := range cx {
+		cx[i] = rng.Float64() * 100
+		cy[i] = rng.Float64() * 100
+	}
+
+	serial := NewPotential(nl, pl, g, 0.5)
+	gxS := make([]float64, n)
+	gyS := make([]float64, n)
+	fS := serial.Eval(cx, cy, gxS, gyS)
+
+	for _, workers := range []int{2, 3, 8} {
+		p := NewPotential(nl, pl, g, 0.5)
+		p.SetParallel(par.New(workers), context.Background())
+		gx := make([]float64, n)
+		gy := make([]float64, n)
+		if f := p.Eval(cx, cy, gx, gy); f != fS {
+			t.Fatalf("workers=%d: N = %v, serial %v", workers, f, fS)
+		}
+		for i := range gx {
+			if gx[i] != gxS[i] || gy[i] != gyS[i] {
+				t.Fatalf("workers=%d: grad[%d] = (%v,%v), serial (%v,%v)",
+					workers, i, gx[i], gy[i], gxS[i], gyS[i])
+			}
+		}
+		if f := p.Eval(cx, cy, nil, nil); f != fS {
+			t.Fatalf("workers=%d no-grad: N = %v, serial %v", workers, f, fS)
+		}
+	}
+}
+
+// TestPotentialCancelledContextPoisons asserts an expired context turns the
+// objective into NaN rather than a partial sum.
+func TestPotentialCancelledContextPoisons(t *testing.T) {
+	nl, pl, g := gridDesign(20)
+	p := NewPotential(nl, pl, g, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.SetParallel(par.New(4), ctx)
+	cx := make([]float64, 20)
+	cy := make([]float64, 20)
+	if f := p.Eval(cx, cy, nil, nil); !math.IsNaN(f) {
+		t.Fatalf("cancelled Eval returned %v, want NaN", f)
+	}
 }

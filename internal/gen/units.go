@@ -19,6 +19,7 @@ const (
 	RegBank
 )
 
+// String names the unit kind.
 func (k UnitKind) String() string {
 	switch k {
 	case Adder:

@@ -28,6 +28,7 @@ func (p Point) Manhattan(q Point) float64 {
 	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
 }
 
+// String formats the point as "(x, y)".
 func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
 
 // Rect is an axis-aligned rectangle with Lo as lower-left corner and Hi as
@@ -117,6 +118,7 @@ func (r Rect) Inset(m float64) Rect {
 	return Rect{Point{r.Lo.X + m, r.Lo.Y + m}, Point{r.Hi.X - m, r.Hi.Y - m}}
 }
 
+// String formats the rectangle as its two corners.
 func (r Rect) String() string {
 	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/route"
 )
 
@@ -40,6 +41,10 @@ type Options struct {
 	// Obs, when non-nil, records evaluation spans and counters into the
 	// flight recorder.
 	Obs *obs.Recorder
+	// Workers is the worker count for the parallel estimators (Steiner
+	// wirelength, RUDY): 0 means GOMAXPROCS, 1 runs inline. The report is
+	// bit-identical at every worker count.
+	Workers int
 }
 
 // Evaluate computes the report for a placement.
@@ -58,9 +63,10 @@ func Evaluate(nl *netlist.Netlist, pl *netlist.Placement, chip *geom.Core, opt O
 	sp := opt.Obs.Span("metrics")
 	defer sp.End()
 
+	pool := par.New(opt.Workers)
 	grid := geom.NewGrid(chip.Region, opt.GridDim, opt.GridDim)
 	rudySpan := sp.Child("rudy")
-	cm := route.RUDY(nl, pl, grid, route.RUDYOptions{
+	cm := route.RUDYPool(context.Background(), pool, nl, pl, grid, route.RUDYOptions{
 		WireWidth: opt.WireWidth,
 		Capacity:  opt.Capacity,
 	})
@@ -75,7 +81,7 @@ func Evaluate(nl *netlist.Netlist, pl *netlist.Placement, chip *geom.Core, opt O
 			CapacityFactor: opt.RouteCapacityFactor,
 		})
 	stSpan := sp.Child("steiner")
-	stwl := route.SteinerWL(nl, pl)
+	stwl := route.SteinerWLPool(context.Background(), pool, nl, pl)
 	stSpan.End()
 	rep := Report{
 		HPWL:       pl.HPWL(nl),
@@ -89,6 +95,7 @@ func Evaluate(nl *netlist.Netlist, pl *netlist.Placement, chip *geom.Core, opt O
 	return rep
 }
 
+// String is the one-line log form of the report.
 func (r Report) String() string {
 	return fmt.Sprintf("HPWL=%.0f StWL=%.0f rWL=%.0f rOvfl=%.0f maxUtil=%.2f congACE5=%.2f",
 		r.HPWL, r.SteinerWL, r.Routed.WirelengthDB, r.Routed.Overflow, r.MaxUtil, r.Congestion.ACE5)

@@ -40,6 +40,7 @@ const (
 	DirInout
 )
 
+// String names the pin direction.
 func (d Dir) String() string {
 	switch d {
 	case DirInput:

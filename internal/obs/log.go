@@ -18,6 +18,7 @@ const (
 	Error Level = 2
 )
 
+// String names the log level.
 func (l Level) String() string {
 	switch {
 	case l <= Debug:

@@ -20,6 +20,14 @@ type RunReport struct {
 	Exit    string `json:"exit"` // ok|timeout|diverged|degenerate-groups|malformed-input|error
 	Partial bool   `json:"partial,omitempty"`
 
+	// Workers is the resolved worker count of the parallel placement engine
+	// (1 = fully serial). ParallelSpeedup is the wall-clock speedup of the
+	// global-place stage relative to a workers=1 run of the same design; it
+	// is filled by sweep harnesses (make bench) that have both timings, and
+	// is zero in single runs.
+	Workers         int     `json:"workers,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+
 	HPWL         HPWLSummary        `json:"hpwl"`
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 	Counters     map[string]int64   `json:"counters,omitempty"`

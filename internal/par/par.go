@@ -1,0 +1,177 @@
+// Package par provides the bounded worker pool that drives the placer's
+// parallel hot paths (wirelength, density, routing estimates). It is built
+// around one non-negotiable contract: determinism. A computation run through
+// the pool must produce bit-identical results for every worker count,
+// including one — otherwise placements would stop being reproducible and the
+// golden tests of this repository would be meaningless.
+//
+// The pool achieves that by separating *computation* from *reduction*:
+//
+//   - Run distributes disjoint index chunks to workers dynamically (an atomic
+//     cursor) for load balance. Workers must only write to per-index slots —
+//     never to shared accumulators — so the schedule cannot influence the
+//     result.
+//   - ForShards splits the index space into a fixed number of contiguous
+//     shards, independent of worker count, so per-shard accumulators can be
+//     merged afterwards in shard order when a caller does need accumulation
+//     inside the parallel section (e.g. density tiled by bin rows, where each
+//     shard owns a disjoint set of bins).
+//
+// Floating-point reductions that must match a serial loop bit-for-bit are
+// done by the caller, serially, in index order, over the per-index results
+// the parallel phase produced.
+//
+// Cancellation is cooperative and conservative: Run and ForShards check the
+// context before dispatching work and between chunks, stop handing out new
+// chunks once it expires, and return the context error. Chunks that already
+// started always run to completion, so a non-nil error is the only signal
+// that the output is incomplete; callers must discard it. A nil or
+// single-worker pool executes inline on the calling goroutine with no
+// goroutines and no synchronization — the exact serial code path.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value and the nil pool are valid
+// and execute everything inline on the calling goroutine (worker count 1).
+// A Pool carries no goroutines between calls — workers are spawned per
+// operation and joined before it returns — so a Pool is safe to share and
+// cheap to hold for the lifetime of a solver.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count. Zero or negative means
+// GOMAXPROCS(0), the number of OS threads Go will actually run in parallel.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// minGrain is the smallest chunk Run hands to a worker when the caller
+// passes grain <= 0; it bounds scheduling overhead for tiny items.
+const minGrain = 16
+
+// Run executes fn over the half-open ranges that partition [0, n), handing
+// chunks of about `grain` indices to workers dynamically. fn must confine
+// its writes to the slots of its own range. Returns ctx.Err() when the
+// context expired before all chunks were dispatched — the caller must then
+// treat the output as incomplete. A nil ctx is treated as background.
+func (p *Pool) Run(ctx context.Context, n, grain int, fn func(lo, hi int)) error {
+	return p.RunWorker(ctx, n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// RunWorker is Run with the executing worker's index (0 ≤ w < Workers())
+// passed to fn, so callers can hand each worker private scratch state —
+// per-worker wirelength models, gather buffers — without synchronization.
+// The worker index must only select scratch, never influence the values
+// computed, or determinism across worker counts is lost.
+func (p *Pool) RunWorker(ctx context.Context, n, grain int, fn func(worker, lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = minGrain
+	}
+	w := p.Workers()
+	if w == 1 || n <= grain {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		fn(0, 0, n)
+		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	var cursor atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					stopped.Store(true)
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(worker, lo, hi)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForShards splits [0, n) into exactly `shards` contiguous ranges (the last
+// ones may be empty when shards > n) and runs fn(shard, lo, hi) for each,
+// concurrently across the pool's workers. The shard boundaries depend only
+// on n and shards — never on the worker count — so per-shard accumulators
+// merged in shard order yield the same result at every parallelism level.
+// Like Run, it stops dispatching when ctx expires and returns the context
+// error; started shards complete.
+func (p *Pool) ForShards(ctx context.Context, n, shards int, fn func(shard, lo, hi int)) error {
+	if n <= 0 || shards <= 0 {
+		return nil
+	}
+	// Balanced contiguous partition: the first n%shards shards get one extra.
+	q, r := n/shards, n%shards
+	bounds := make([]int, shards+1)
+	for s := 0; s < shards; s++ {
+		sz := q
+		if s < r {
+			sz++
+		}
+		bounds[s+1] = bounds[s] + sz
+	}
+	return p.Run(ctx, shards, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if bounds[s] < bounds[s+1] {
+				fn(s, bounds[s], bounds[s+1])
+			}
+		}
+	})
+}
+
+// ctxErr is ctx.Err() with nil-context tolerance.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

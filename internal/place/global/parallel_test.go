@@ -1,0 +1,225 @@
+package global
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/wirelength"
+)
+
+// randProblem builds a random netlist, placement and core for the parallel
+// equality property tests: a mix of movable cells, a few fixed pads, and
+// nets of varying degree (including high-degree buses that stress the
+// sharded evaluator).
+func randProblem(seed int64, nCells, nNets int) (*netlist.Netlist, *netlist.Placement, *geom.Core) {
+	rng := rand.New(rand.NewSource(seed))
+	nl := netlist.New(fmt.Sprintf("rand%d", seed))
+	for i := 0; i < nCells; i++ {
+		fixed := i%17 == 0
+		w := 4 + float64(rng.Intn(4))*2
+		nl.MustAddCell(fmt.Sprintf("c%d", i), "std", w, 8, fixed)
+	}
+	for i := 0; i < nNets; i++ {
+		deg := 2 + rng.Intn(9)
+		if i%13 == 0 {
+			deg = 2 + rng.Intn(30) // occasional wide bus
+		}
+		ends := make([]netlist.Endpoint, 0, deg)
+		for k := 0; k < deg; k++ {
+			c := netlist.CellID(rng.Intn(nCells))
+			ends = append(ends, netlist.Endpoint{
+				Cell: c,
+				Pin:  fmt.Sprintf("p%d_%d", i, k),
+				DX:   float64(rng.Intn(4)),
+				DY:   float64(rng.Intn(4)),
+			})
+		}
+		nl.MustAddNet(fmt.Sprintf("n%d", i), 1, ends...)
+	}
+	core := geom.NewCore(geom.NewRect(0, 0, 400, 400), 8, 1)
+	pl := netlist.NewPlacement(nl)
+	for i := range nl.Cells {
+		pl.X[i] = rng.Float64() * 380
+		pl.Y[i] = rng.Float64() * 380
+	}
+	return nl, pl, core
+}
+
+// evalAt runs one objective+gradient evaluation of a fresh engine with the
+// given worker count and returns the objective and the gradient vector.
+func evalAt(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, workers int, lambda float64, noCache bool) (float64, []float64, []float64) {
+	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: workers})
+	e.lambda = lambda
+	v := make([]float64, e.nVars)
+	e.initVars(v)
+	grad := make([]float64, e.nVars)
+	e.noCache = noCache
+	f := e.eval(v, grad)
+	return f, grad, v
+}
+
+// TestParallelGradientMatchesSerial is the property test behind the
+// engine's determinism claim: across random netlists and worker counts, the
+// objective and every gradient component of the parallel evaluation equal
+// the serial evaluation bit-for-bit — with and without the per-net cache.
+func TestParallelGradientMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		nCells := 60 + int(seed)*37
+		nNets := 80 + int(seed)*53
+		nl, pl, core := randProblem(seed, nCells, nNets)
+		fSer, gSer, _ := evalAt(nl, pl, core, 1, 0.7, false)
+		for _, workers := range []int{2, 3, 4, 8} {
+			for _, noCache := range []bool{false, true} {
+				f, g, _ := evalAt(nl, pl, core, workers, 0.7, noCache)
+				if f != fSer {
+					t.Fatalf("seed %d workers %d noCache=%v: objective %v != serial %v",
+						seed, workers, noCache, f, fSer)
+				}
+				for i := range g {
+					if g[i] != gSer[i] {
+						t.Fatalf("seed %d workers %d noCache=%v: grad[%d] %v != serial %v",
+							seed, workers, noCache, i, g[i], gSer[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNetCacheIsExact verifies a cache-hit re-evaluation returns the
+// bit-identical objective and gradient, that hits actually occur on a
+// repeated evaluation, and that a γ change invalidates every entry.
+func TestNetCacheIsExact(t *testing.T) {
+	nl, pl, core := randProblem(42, 150, 200)
+	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 2})
+	e.lambda = 0.5
+	v := make([]float64, e.nVars)
+	e.initVars(v)
+	g1 := make([]float64, e.nVars)
+	f1 := e.eval(v, g1)
+	if hits := e.cacheHits.Load(); hits != 0 {
+		t.Fatalf("cold evaluation had %d cache hits", hits)
+	}
+	misses := e.cacheMisses.Load()
+
+	g2 := make([]float64, e.nVars)
+	f2 := e.eval(v, g2)
+	if f2 != f1 {
+		t.Fatalf("cached objective %v != original %v", f2, f1)
+	}
+	for i := range g1 {
+		if g2[i] != g1[i] {
+			t.Fatalf("cached grad[%d] %v != original %v", i, g2[i], g1[i])
+		}
+	}
+	if e.cacheHits.Load() == 0 {
+		t.Fatal("repeated evaluation at the same point produced no cache hits")
+	}
+	if e.cacheMisses.Load() != misses {
+		t.Fatalf("repeated evaluation recomputed %d nets", e.cacheMisses.Load()-misses)
+	}
+
+	// γ change: every net must be re-evaluated.
+	e.setGamma(2)
+	g3 := make([]float64, e.nVars)
+	e.eval(v, g3)
+	if e.cacheMisses.Load() != 2*misses {
+		t.Fatalf("γ change did not invalidate the cache: %d misses, want %d",
+			e.cacheMisses.Load(), 2*misses)
+	}
+}
+
+// TestPlaceWorkersBitIdentical runs the full global placement at several
+// worker counts and requires bit-identical placements.
+func TestPlaceWorkersBitIdentical(t *testing.T) {
+	base := func(workers int) *netlist.Placement {
+		nl, pl, core := randProblem(7, 260, 380)
+		_, err := Place(nl, pl, core, Options{
+			MaxOuterIters: 6, InnerIters: 20, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	ref := base(1)
+	for _, workers := range []int{2, 4} {
+		got := base(workers)
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] || got.Y[i] != ref.Y[i] {
+				t.Fatalf("workers=%d: cell %d at (%v,%v), workers=1 at (%v,%v)",
+					workers, i, got.X[i], got.Y[i], ref.X[i], ref.Y[i])
+			}
+		}
+	}
+}
+
+// TestEvalCancellationPoisons verifies an expired context inside the
+// parallel kernels yields a NaN objective instead of a silently truncated
+// one.
+func TestEvalCancellationPoisons(t *testing.T) {
+	nl, pl, core := randProblem(3, 80, 100)
+	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.ctx = ctx
+	e.pot.SetParallel(e.pool, ctx)
+	v := make([]float64, e.nVars)
+	e.initVars(v)
+	g := make([]float64, e.nVars)
+	if f := e.eval(v, g); f == f { // NaN != NaN
+		t.Fatalf("cancelled evaluation returned finite %v, want NaN", f)
+	}
+}
+
+// BenchmarkLineSearchProbe measures the cost of the repeated objective
+// evaluations a line-search probe performs, with the per-net cache on and
+// off. The cached variant models the step-size probe / rollback pattern
+// (re-evaluation at an unchanged iterate within one γ epoch).
+func BenchmarkLineSearchProbe(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			nl, pl, core := randProblem(9, 400, 600)
+			e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 1})
+			e.lambda = 0.5
+			e.noCache = !cached
+			v := make([]float64, e.nVars)
+			e.initVars(v)
+			g := make([]float64, e.nVars)
+			e.eval(v, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.eval(v, g)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalWorkers measures one full objective+gradient evaluation at
+// several worker counts (the speedup here is what `make bench` sweeps at
+// the whole-flow level).
+func BenchmarkEvalWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			nl, pl, core := randProblem(9, 400, 600)
+			e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: workers})
+			e.lambda = 0.5
+			e.noCache = true
+			v := make([]float64, e.nVars)
+			e.initVars(v)
+			g := make([]float64, e.nVars)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.eval(v, g)
+			}
+		})
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/wirelength"
 )
@@ -58,6 +60,11 @@ type Options struct {
 	// SkipQuadraticInit keeps the caller-provided start instead of running
 	// the bound-to-bound solve.
 	SkipQuadraticInit bool
+	// Workers is the worker count for the parallel hot paths (wirelength,
+	// density): 0 means GOMAXPROCS, 1 runs everything inline on the calling
+	// goroutine. The placement is bit-identical at every worker count; the
+	// setting only trades wall clock for cores.
+	Workers int
 	// Trace, when non-nil, observes every outer iteration.
 	Trace func(TracePoint)
 }
@@ -80,6 +87,15 @@ type Result struct {
 	AlignRMS   float64
 	OuterIters int
 	FuncEvals  int
+	// Workers is the resolved worker count the parallel engine ran with
+	// (Options.Workers after the GOMAXPROCS default is applied).
+	Workers int
+	// NetCacheHits and NetCacheMisses count per-net wirelength evaluations
+	// served from the incremental cache versus recomputed. Hits come from
+	// repeated objective evaluations at unchanged pin coordinates within one
+	// γ epoch (step-size probes, health-guard rollbacks, fixed-pin nets).
+	NetCacheHits   int64
+	NetCacheMisses int64
 	// Diagnostics records the resilience events of the run.
 	Diagnostics Diagnostics
 }
@@ -194,8 +210,36 @@ type engine struct {
 	cxFull, cyFull []float64
 	gxFull, gyFull []float64
 
-	// Per-net gather buffers.
-	pinX, pinY, pinGX, pinGY []float64
+	// Parallel execution: the worker pool, the run context it polls, and one
+	// wirelength-model clone per worker (models carry scratch buffers and are
+	// not concurrency-safe).
+	pool     *par.Pool
+	ctx      context.Context
+	wlModels []wirelength.Model
+
+	// Per-net CSR pin buffers: netOff[ni] is the first slot of net ni in the
+	// flat pin arrays. curX/curY hold the gathered pin coordinates of the
+	// evaluation in flight; pinGX/pinGY the per-pin model gradients.
+	netOff     []int32
+	curX, curY []float64
+	pinGX      []float64
+	pinGY      []float64
+	netVal     []float64
+
+	// Per-net incremental cache: cacheX/cacheY are the pin coordinates the
+	// net was last evaluated at, netVal/pinGX/pinGY the results. A cached
+	// entry is valid when netEpoch matches the engine epoch (bumped on every
+	// γ change, i.e. by the λ-schedule) and, for gradient evaluations,
+	// netGrad is set. Reuse is exact: the cached numbers were produced by
+	// identical arithmetic at identical inputs, so caching never perturbs
+	// the placement.
+	cacheX, cacheY []float64
+	netEpoch       []int64
+	netGrad        []bool
+	epoch          int64
+	noCache        bool // benchmarks disable the cache to measure its value
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
 
 	// Term-gradient scratch.
 	sgx, sgy []float64
@@ -296,7 +340,47 @@ func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, mode
 		e.xFull[i] = pl.X[i]
 		e.yFull[i] = pl.Y[i]
 	}
+
+	// Worker pool and per-worker wirelength models. Workers==1 (or a
+	// one-core GOMAXPROCS) keeps every hot path inline on the calling
+	// goroutine — the exact serial code path.
+	e.pool = par.New(o.Workers)
+	e.ctx = context.Background()
+	e.wlModels = make([]wirelength.Model, e.pool.Workers())
+	e.wlModels[0] = model
+	for i := 1; i < len(e.wlModels); i++ {
+		e.wlModels[i] = model.Clone()
+	}
+
+	// CSR pin buffers and the per-net cache.
+	e.netOff = make([]int32, len(nl.Nets)+1)
+	for ni := range nl.Nets {
+		e.netOff[ni+1] = e.netOff[ni] + int32(nl.Nets[ni].Degree())
+	}
+	totalPins := int(e.netOff[len(nl.Nets)])
+	e.curX = make([]float64, totalPins)
+	e.curY = make([]float64, totalPins)
+	e.pinGX = make([]float64, totalPins)
+	e.pinGY = make([]float64, totalPins)
+	e.cacheX = make([]float64, totalPins)
+	e.cacheY = make([]float64, totalPins)
+	e.netVal = make([]float64, len(nl.Nets))
+	e.netEpoch = make([]int64, len(nl.Nets))
+	e.netGrad = make([]bool, len(nl.Nets))
+	for i := range e.netEpoch {
+		e.netEpoch[i] = -1
+	}
 	return e
+}
+
+// setGamma propagates a new smoothing parameter to every worker's model and
+// invalidates the per-net cache: cached values are exact only at the γ they
+// were computed with, so each step of the λ/γ-schedule starts a new epoch.
+func (e *engine) setGamma(g float64) {
+	for _, m := range e.wlModels {
+		m.SetGamma(g)
+	}
+	e.epoch++
 }
 
 // rowHOf returns the cell height of a group (uniform in row-based designs).
@@ -417,8 +501,69 @@ func (e *engine) eval(v, grad []float64) float64 {
 
 // evalWL computes the smooth wirelength and accumulates weight·grad into the
 // full per-cell gradient arrays.
+//
+// The evaluation is sharded by net: workers gather pin coordinates and run
+// the smooth model independently into per-net CSR slots (curX/curY, netVal,
+// pinGX/pinGY), consulting the per-net cache first. The weighted objective
+// sum and the scatter into the per-cell gradients then run serially in net
+// order, which reproduces the historical serial loop's floating-point
+// accumulation order exactly — the parallel phase only ever computes
+// per-net quantities, so the result is bit-identical at every worker count.
 func (e *engine) evalWL(withGrad bool, weight float64) float64 {
 	nl := e.nl
+	if err := e.pool.RunWorker(e.ctx, len(nl.Nets), 32, func(worker, lo, hi int) {
+		model := e.wlModels[worker]
+		var hits, misses int64
+		for ni := lo; ni < hi; ni++ {
+			net := &nl.Nets[ni]
+			p := net.Degree()
+			if p < 2 {
+				continue
+			}
+			off := int(e.netOff[ni])
+			xs := e.curX[off : off+p]
+			ys := e.curY[off : off+p]
+			for k, pid := range net.Pins {
+				pin := nl.Pin(pid)
+				if pin.Cell == netlist.NoCell {
+					xs[k] = pin.DX
+					ys[k] = pin.DY
+				} else {
+					xs[k] = e.xFull[pin.Cell] + pin.DX
+					ys[k] = e.yFull[pin.Cell] + pin.DY
+				}
+			}
+			if !e.noCache && e.netEpoch[ni] == e.epoch && (e.netGrad[ni] || !withGrad) &&
+				coordsEqual(xs, e.cacheX[off:off+p]) && coordsEqual(ys, e.cacheY[off:off+p]) {
+				// netVal and pinGX/pinGY still hold this net's results.
+				hits++
+				continue
+			}
+			misses++
+			var gx, gy []float64
+			if withGrad {
+				gx = e.pinGX[off : off+p]
+				gy = e.pinGY[off : off+p]
+				for k := range gx {
+					gx[k] = 0
+					gy[k] = 0
+				}
+			}
+			e.netVal[ni] = model.EvalAxis(xs, gx) + model.EvalAxis(ys, gy)
+			copy(e.cacheX[off:off+p], xs)
+			copy(e.cacheY[off:off+p], ys)
+			e.netEpoch[ni] = e.epoch
+			e.netGrad[ni] = withGrad
+		}
+		e.cacheHits.Add(hits)
+		e.cacheMisses.Add(misses)
+	}); err != nil {
+		// Cancelled mid-evaluation: poison the objective so the optimizer
+		// rejects the iterate; its own context poll stops the solve next.
+		return math.NaN()
+	}
+
+	// Serial reduction in net order.
 	total := 0.0
 	for ni := range nl.Nets {
 		net := &nl.Nets[ni]
@@ -426,46 +571,33 @@ func (e *engine) evalWL(withGrad bool, weight float64) float64 {
 		if p < 2 {
 			continue
 		}
-		if cap(e.pinX) < p {
-			e.pinX = make([]float64, p)
-			e.pinY = make([]float64, p)
-			e.pinGX = make([]float64, p)
-			e.pinGY = make([]float64, p)
-		}
-		xs := e.pinX[:p]
-		ys := e.pinY[:p]
-		for k, pid := range net.Pins {
-			pin := nl.Pin(pid)
-			if pin.Cell == netlist.NoCell {
-				xs[k] = pin.DX
-				ys[k] = pin.DY
-			} else {
-				xs[k] = e.xFull[pin.Cell] + pin.DX
-				ys[k] = e.yFull[pin.Cell] + pin.DY
-			}
-		}
+		total += net.Weight * e.netVal[ni]
 		if !withGrad {
-			total += net.Weight * (e.model.EvalAxis(xs, nil) + e.model.EvalAxis(ys, nil))
 			continue
 		}
-		gx := e.pinGX[:p]
-		gy := e.pinGY[:p]
-		for k := range gx {
-			gx[k] = 0
-			gy[k] = 0
-		}
-		total += net.Weight * wirelength.Eval(e.model, xs, ys, gx, gy)
+		off := int(e.netOff[ni])
 		w := net.Weight * weight
 		for k, pid := range net.Pins {
 			pin := nl.Pin(pid)
 			if pin.Cell == netlist.NoCell || e.xVar[pin.Cell] < 0 {
 				continue
 			}
-			e.gxFull[pin.Cell] += w * gx[k]
-			e.gyFull[pin.Cell] += w * gy[k]
+			e.gxFull[pin.Cell] += w * e.pinGX[off+k]
+			e.gyFull[pin.Cell] += w * e.pinGY[off+k]
 		}
 	}
 	return total
+}
+
+// coordsEqual reports exact (bitwise, modulo ±0) equality of two coordinate
+// slices. NaNs compare unequal, which conservatively forces re-evaluation.
+func coordsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // evalDensity computes the density penalty and adds weight·grad.
@@ -539,12 +671,17 @@ func (e *engine) innerOpts(ctx context.Context, rec *obs.Recorder, outer int, st
 func (e *engine) run(ctx context.Context) (Result, error) {
 	nl, pl := e.nl, e.pl
 	rec := obs.From(ctx)
+	// The run context reaches into the parallel kernels so a deadline can
+	// stop work between chunks; determinism is unaffected because partial
+	// results are poisoned (NaN) rather than used.
+	e.ctx = ctx
+	e.pot.SetParallel(e.pool, ctx)
 	v := make([]float64, e.nVars)
 	e.initVars(v)
 
 	gammaHi := 8 * math.Max(e.grid.BinW, e.grid.BinH)
 	gammaLo := 0.5 * math.Max(e.grid.BinW, e.grid.BinH)
-	e.model.SetGamma(gammaHi)
+	e.setGamma(gammaHi)
 
 	// Auto-scale λ (and α in soft mode) from first-order balance.
 	e.lambda, e.alpha = 0, 0
@@ -604,7 +741,7 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 		if gammaBoost != 1 {
 			gamma = math.Min(gammaHi, gamma*gammaBoost)
 		}
-		e.model.SetGamma(gamma)
+		e.setGamma(gamma)
 
 		r := opt.Minimize(e.eval, v, e.innerOpts(ctx, rec, outer, e.stepInit(v)))
 		res.FuncEvals += r.FuncEvals
@@ -722,6 +859,11 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	res.HPWL = pl.HPWL(nl)
 	res.Overflow = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
 	res.AlignRMS = AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull)
+	res.Workers = e.pool.Workers()
+	res.NetCacheHits = e.cacheHits.Load()
+	res.NetCacheMisses = e.cacheMisses.Load()
+	rec.Add("global/net_cache_hits", res.NetCacheHits)
+	rec.Add("global/net_cache_misses", res.NetCacheMisses)
 	rec.Logf(obs.Debug, "global",
 		"done: %d outer iters, %d evals, HPWL %.0f, overflow %.3f, align RMS %.3f",
 		res.OuterIters, res.FuncEvals, res.HPWL, res.Overflow, res.AlignRMS)

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 func TestNetSteinerTrivial(t *testing.T) {
@@ -222,5 +224,76 @@ func BenchmarkNetSteiner8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NetSteiner(pts)
+	}
+}
+
+// parallelDesign builds a random netlist for the parallel-equality tests.
+func parallelDesign(seed int64, nCells, nNets int) (*netlist.Netlist, *netlist.Placement) {
+	rng := rand.New(rand.NewSource(seed))
+	nl := netlist.New("par")
+	for i := 0; i < nCells; i++ {
+		nl.MustAddCell(fmtName("c", i), "STD", 4, 4, false)
+	}
+	for i := 0; i < nNets; i++ {
+		deg := 2 + rng.Intn(8)
+		ends := make([]netlist.Endpoint, 0, deg)
+		for k := 0; k < deg; k++ {
+			ends = append(ends, netlist.Endpoint{
+				Cell: netlist.CellID(rng.Intn(nCells)),
+				Pin:  fmtName("p", i*100+k),
+			})
+		}
+		nl.MustAddNet(fmtName("n", i), 0.5+rng.Float64(), ends...)
+	}
+	pl := netlist.NewPlacement(nl)
+	for i := range nl.Cells {
+		pl.X[i] = rng.Float64() * 200
+		pl.Y[i] = rng.Float64() * 200
+	}
+	return nl, pl
+}
+
+func fmtName(prefix string, i int) string {
+	return prefix + string(rune('A'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+(i/676)%10))
+}
+
+// TestSteinerWLParallelMatchesSerial asserts the per-net parallel Steiner
+// estimate reduces to the bit-identical total at every worker count.
+func TestSteinerWLParallelMatchesSerial(t *testing.T) {
+	nl, pl := parallelDesign(17, 120, 250)
+	want := SteinerWL(nl, pl)
+	for _, workers := range []int{2, 3, 8} {
+		got := SteinerWLPool(context.Background(), par.New(workers), nl, pl)
+		if got != want {
+			t.Fatalf("workers=%d: SteinerWL = %v, serial %v", workers, got, want)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := SteinerWLPool(ctx, par.New(4), nl, pl); !math.IsNaN(got) {
+		t.Fatalf("cancelled SteinerWLPool = %v, want NaN", got)
+	}
+}
+
+// TestRUDYParallelMatchesSerial asserts the row-tiled parallel RUDY map is
+// bit-identical to the serial one at every worker count.
+func TestRUDYParallelMatchesSerial(t *testing.T) {
+	nl, pl := parallelDesign(29, 150, 300)
+	grid := geom.NewGrid(geom.NewRect(0, 0, 200, 200), 24, 24)
+	opt := RUDYOptions{WireWidth: 1.5, Capacity: 0.3}
+	want := RUDY(nl, pl, grid, opt)
+	for _, workers := range []int{2, 3, 8} {
+		got := RUDYPool(context.Background(), par.New(workers), nl, pl, grid, opt)
+		for i := range want.Demand {
+			if got.Demand[i] != want.Demand[i] {
+				t.Fatalf("workers=%d: bin %d = %v, serial %v",
+					workers, i, got.Demand[i], want.Demand[i])
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := RUDYPool(ctx, par.New(4), nl, pl, grid, opt); got != nil {
+		t.Fatal("cancelled RUDYPool returned a map, want nil")
 	}
 }

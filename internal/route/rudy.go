@@ -1,11 +1,13 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // RUDYOptions configures the congestion estimate.
@@ -26,6 +28,17 @@ type CongestionMap struct {
 // each net spreads (HPWL · wireWidth) of routing area uniformly over its
 // bounding box. Degenerate (flat) boxes are padded by the wire width.
 func RUDY(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOptions) *CongestionMap {
+	return RUDYPool(context.Background(), nil, nl, pl, grid, opt)
+}
+
+// RUDYPool is RUDY parallelized across a worker pool. The per-net wire
+// boxes and densities are computed independently in a first pass; the bin
+// accumulation is then tiled by grid rows, with each row owned by exactly
+// one worker and nets visited in ascending order within it, so every bin
+// receives its contributions in the same order as the serial loop and the
+// map is bit-identical at every worker count. A nil pool runs inline. When
+// ctx expires mid-computation the returned map is nil.
+func RUDYPool(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOptions) *CongestionMap {
 	if opt.WireWidth <= 0 {
 		opt.WireWidth = 1
 	}
@@ -33,31 +46,58 @@ func RUDY(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOp
 		opt.Capacity = 1
 	}
 	cm := &CongestionMap{Grid: grid, Demand: make([]float64, grid.Bins())}
-	for i := range nl.Nets {
-		net := &nl.Nets[i]
-		if net.Degree() < 2 {
-			continue
+
+	// Pass 1: per-net boxes and spread densities (independent per net).
+	boxes := make([]geom.Rect, len(nl.Nets))
+	dens := make([]float64, len(nl.Nets))
+	if err := pool.Run(ctx, len(nl.Nets), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			net := &nl.Nets[i]
+			if net.Degree() < 2 {
+				continue
+			}
+			bb := pl.NetBBox(nl, netlist.NetID(i))
+			hpwl := bb.W() + bb.H()
+			if hpwl == 0 {
+				continue
+			}
+			// Pad flat boxes so division by area stays sane.
+			pad := opt.WireWidth / 2
+			box := geom.NewRect(bb.Lo.X-pad, bb.Lo.Y-pad, bb.Hi.X+pad, bb.Hi.Y+pad)
+			boxes[i] = box
+			dens[i] = net.Weight * hpwl * opt.WireWidth / box.Area()
 		}
-		bb := pl.NetBBox(nl, netlist.NetID(i))
-		hpwl := bb.W() + bb.H()
-		if hpwl == 0 {
-			continue
-		}
-		// Pad flat boxes so division by area stays sane.
-		pad := opt.WireWidth / 2
-		box := geom.NewRect(bb.Lo.X-pad, bb.Lo.Y-pad, bb.Hi.X+pad, bb.Hi.Y+pad)
-		wireArea := net.Weight * hpwl * opt.WireWidth
-		density := wireArea / box.Area()
-		i0, i1, j0, j1 := grid.Range(box)
-		for j := j0; j < j1; j++ {
-			for bi := i0; bi < i1; bi++ {
-				ov := grid.BinRect(bi, j).Overlap(box)
-				if ov > 0 {
-					cm.Demand[grid.Index(bi, j)] += density * ov
+	}); err != nil {
+		return nil
+	}
+
+	// Pass 2: accumulation tiled by grid rows; per-bin order is net order.
+	if err := pool.Run(ctx, grid.NY, 2, func(loRow, hiRow int) {
+		for i := range nl.Nets {
+			if dens[i] == 0 {
+				continue
+			}
+			box := boxes[i]
+			i0, i1, j0, j1 := grid.Range(box)
+			if j0 < loRow {
+				j0 = loRow
+			}
+			if j1 > hiRow {
+				j1 = hiRow
+			}
+			for j := j0; j < j1; j++ {
+				for bi := i0; bi < i1; bi++ {
+					ov := grid.BinRect(bi, j).Overlap(box)
+					if ov > 0 {
+						cm.Demand[grid.Index(bi, j)] += dens[i] * ov
+					}
 				}
 			}
 		}
+	}); err != nil {
+		return nil
 	}
+
 	binArea := grid.BinW * grid.BinH
 	for i := range cm.Demand {
 		cm.Demand[i] /= opt.Capacity * binArea

@@ -7,10 +7,12 @@
 package route
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // steinerRefineLimit caps the net degree for Hanan-grid refinement;
@@ -125,18 +127,40 @@ func containsPoint(pts []geom.Point, q geom.Point) bool {
 
 // SteinerWL returns the total weighted Steiner wirelength of a placement.
 func SteinerWL(nl *netlist.Netlist, pl *netlist.Placement) float64 {
+	return SteinerWLPool(context.Background(), nil, nl, pl)
+}
+
+// SteinerWLPool is SteinerWL sharded per net across a worker pool. Each
+// net's tree length is computed independently into a per-net slot; the
+// weighted sum then runs serially in net order, so the result is
+// bit-identical to the serial loop at every worker count. A nil pool runs
+// inline. When ctx expires mid-computation the function returns NaN — the
+// caller sees an unusable metric rather than a silently truncated one.
+func SteinerWLPool(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netlist.Placement) float64 {
+	lens := make([]float64, len(nl.Nets))
+	err := pool.Run(ctx, len(nl.Nets), 8, func(lo, hi int) {
+		var pts []geom.Point
+		for i := lo; i < hi; i++ {
+			net := &nl.Nets[i]
+			if net.Degree() < 2 {
+				continue
+			}
+			pts = pts[:0]
+			for _, pid := range net.Pins {
+				pts = append(pts, pl.PinPos(nl, pid))
+			}
+			lens[i] = NetSteiner(pts)
+		}
+	})
+	if err != nil {
+		return math.NaN()
+	}
 	total := 0.0
-	var pts []geom.Point
 	for i := range nl.Nets {
-		net := &nl.Nets[i]
-		if net.Degree() < 2 {
+		if nl.Nets[i].Degree() < 2 {
 			continue
 		}
-		pts = pts[:0]
-		for _, pid := range net.Pins {
-			pts = append(pts, pl.PinPos(nl, pid))
-		}
-		total += net.Weight * NetSteiner(pts)
+		total += nl.Nets[i].Weight * lens[i]
 	}
 	return total
 }

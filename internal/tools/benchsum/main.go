@@ -1,0 +1,167 @@
+// Command benchsum post-processes the run reports of a `make bench`
+// -workers sweep: it reads every BENCH_workers_*.json report, takes the
+// workers=1 run's global-place stage time as the baseline, writes each
+// report's parallel_speedup field in place (speedup = t_serial / t_N for
+// the global stage), and prints the speedup table that EXPERIMENTS.md
+// quotes.
+//
+// With -linesearch it instead parses `go test -bench BenchmarkLineSearchProbe`
+// output and writes the cached-vs-uncached probe cost (and their ratio) as a
+// small JSON summary, so the caching win is committed next to the sweep.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json ...
+//	go run ./internal/tools/benchsum -linesearch bench.txt BENCH_linesearch_cache.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// report is the slice of dpplace-run-report/v1 benchsum needs. Unknown
+// fields are preserved through the raw map when rewriting.
+type report struct {
+	path    string
+	raw     map[string]any
+	workers int
+	global  float64
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchsum BENCH_workers_*.json | benchsum -linesearch bench.txt out.json")
+		os.Exit(2)
+	}
+	if os.Args[1] == "-linesearch" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchsum -linesearch bench.txt out.json")
+			os.Exit(2)
+		}
+		if err := lineSearchSummary(os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var reports []report
+	for _, path := range os.Args[1:] {
+		r, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, r)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].workers < reports[j].workers })
+
+	baseline := 0.0
+	for _, r := range reports {
+		if r.workers == 1 {
+			baseline = r.global
+		}
+	}
+	if baseline <= 0 {
+		fmt.Fprintln(os.Stderr, "benchsum: no workers=1 report with a positive global-stage time")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-8s %-12s %-8s\n", "workers", "global[s]", "speedup")
+	for _, r := range reports {
+		speedup := baseline / r.global
+		r.raw["parallel_speedup"] = speedup
+		b, err := json.MarshalIndent(r.raw, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(r.path, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8d %-12.3f %-8.2f\n", r.workers, r.global, speedup)
+	}
+}
+
+// lineSearchSummary parses `go test -bench` output for the cached and
+// uncached BenchmarkLineSearchProbe variants and writes their ns/op and the
+// cached-probe speedup as JSON.
+func lineSearchSummary(benchPath, outPath string) error {
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// e.g. "BenchmarkLineSearchProbe/cached-8   3518   319498 ns/op ..."
+	row := regexp.MustCompile(`^BenchmarkLineSearchProbe/(cached|uncached)\S*\s+\d+\s+([\d.]+) ns/op`)
+	nsPerOp := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := row.FindStringSubmatch(sc.Text()); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return fmt.Errorf("%s: %w", benchPath, err)
+			}
+			nsPerOp[m[1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	cached, uncached := nsPerOp["cached"], nsPerOp["uncached"]
+	if cached <= 0 || uncached <= 0 {
+		return fmt.Errorf("%s: missing BenchmarkLineSearchProbe cached/uncached rows", benchPath)
+	}
+	out := map[string]any{
+		"schema":         "dpplace-linesearch-bench/v1",
+		"cached_ns_op":   cached,
+		"uncached_ns_op": uncached,
+		"cached_speedup": uncached / cached,
+		"benchmark":      "BenchmarkLineSearchProbe (internal/place/global)",
+		"what_it_models": "re-evaluation of an unchanged iterate within one γ epoch (line-search probe / health-guard rollback)",
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("line-search probe: cached %.0f ns/op, uncached %.0f ns/op, speedup %.2f\n",
+		cached, uncached, uncached/cached)
+	return nil
+}
+
+// load reads one run report, requiring the workers count and the global
+// stage time the speedup is computed from.
+func load(path string) (report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	workers, _ := raw["workers"].(float64)
+	if workers == 0 {
+		// workers=1 runs omit the field (omitempty would too if it were 0);
+		// dpplace always records the resolved count, so a missing field means
+		// a pre-sweep report.
+		return report{}, fmt.Errorf("%s: report has no workers field; re-run the sweep", path)
+	}
+	stages, _ := raw["stage_seconds"].(map[string]any)
+	global, _ := stages["global"].(float64)
+	if global <= 0 {
+		return report{}, fmt.Errorf("%s: report has no global stage time", path)
+	}
+	return report{path: path, raw: raw, workers: int(workers), global: global}, nil
+}

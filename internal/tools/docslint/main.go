@@ -1,0 +1,191 @@
+// Command docslint enforces the repository's documentation bar without any
+// external linter dependency: every package must carry a package-level doc
+// comment, and every exported top-level identifier (types, functions,
+// methods, grouped consts/vars) must be documented. `make docs-lint` runs it
+// over the whole module and fails the build on violations.
+//
+// Usage:
+//
+//	go run ./internal/tools/docslint [dir ...]
+//
+// With no arguments it lints the current module ("."). Test files,
+// testdata directories and generated files are exempt, matching the
+// conventions of go/doc.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var violations []string
+	for _, root := range roots {
+		v, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docslint: %v\n", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "docslint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks root and lints every directory that contains Go files.
+func lintTree(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for dir := range dirs {
+		v, err := lintDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, v...)
+	}
+	return violations, nil
+}
+
+// lintDir parses the non-test files of one directory and reports every
+// missing doc comment.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	hasPkgDoc := false
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	var violations []string
+	if !hasPkgDoc {
+		violations = append(violations,
+			fmt.Sprintf("%s: package %s has no package-level doc comment", dir, pkgName))
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			violations = append(violations, lintDecl(fset, decl)...)
+		}
+	}
+	return violations, nil
+}
+
+// lintDecl reports exported top-level identifiers without a doc comment.
+// A documented grouped const/var block covers its members, matching godoc's
+// rendering.
+func lintDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var violations []string
+	missing := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		violations = append(violations,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			missing(d.Pos(), what, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && !groupDoc {
+					missing(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						missing(n.Pos(), "const/var", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// exportedRecv reports whether a function is package-level or a method on an
+// exported receiver type — methods on unexported types never render in
+// godoc, so they are exempt.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -14,7 +14,7 @@ import "math"
 
 // Model is a per-net smooth wirelength model. Implementations are reused
 // across nets and are not safe for concurrent use (they carry scratch
-// buffers).
+// buffers); parallel evaluators give each worker its own instance via Clone.
 type Model interface {
 	// Name identifies the model in reports ("lse", "wa", "hpwl").
 	Name() string
@@ -24,6 +24,12 @@ type Model interface {
 	EvalAxis(xs []float64, grad []float64) float64
 	// SetGamma updates the smoothing parameter (ignored by exact models).
 	SetGamma(gamma float64)
+	// Clone returns an independent model with the same parameters and fresh
+	// scratch state. Because EvalAxis is a pure function of (xs, γ), a clone
+	// produces bit-identical results to its original, which is what lets the
+	// sharded wirelength evaluator hand one clone to each worker without
+	// perturbing placements.
+	Clone() Model
 }
 
 // Eval evaluates a model over both axes of one net.
@@ -41,6 +47,10 @@ func (HPWL) Name() string { return "hpwl" }
 
 // SetGamma implements Model (no-op).
 func (HPWL) SetGamma(float64) {}
+
+// Clone implements Model. HPWL is stateless, so the receiver is its own
+// clone.
+func (HPWL) Clone() Model { return HPWL{} }
 
 // EvalAxis implements Model.
 func (HPWL) EvalAxis(xs []float64, grad []float64) float64 {
@@ -81,6 +91,9 @@ func (m *LSE) Name() string { return "lse" }
 
 // SetGamma implements Model.
 func (m *LSE) SetGamma(g float64) { m.Gamma = g }
+
+// Clone implements Model.
+func (m *LSE) Clone() Model { return NewLSE(m.Gamma) }
 
 // EvalAxis implements Model.
 func (m *LSE) EvalAxis(xs []float64, grad []float64) float64 {
@@ -138,6 +151,9 @@ func (m *WA) Name() string { return "wa" }
 
 // SetGamma implements Model.
 func (m *WA) SetGamma(g float64) { m.Gamma = g }
+
+// Clone implements Model.
+func (m *WA) Clone() Model { return NewWA(m.Gamma) }
 
 // EvalAxis implements Model.
 func (m *WA) EvalAxis(xs []float64, grad []float64) float64 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	dpplace "repro"
+	"repro/internal/place/global"
 )
 
 // goldenBench regenerates the same deterministic benchmark for each run, so
@@ -113,6 +114,42 @@ func TestTracingIsPassive(t *testing.T) {
 		t.Errorf("global span counters did not roll up: %v", enabled.Counters())
 	}
 	t.Logf("trace: %d lines, %d iters, %d outers, spans %v", lines, iters, outers, spans)
+}
+
+// TestWorkersBitIdentical is the golden determinism test of the parallel
+// engine: the full structure-aware flow must produce bit-identical
+// placements at every worker count. The parallel hot paths compute per-net
+// (or per-row) results concurrently but reduce them in a fixed serial
+// order, so float non-associativity never enters the picture.
+func TestWorkersBitIdentical(t *testing.T) {
+	place := func(workers int) *dpplace.Result {
+		t.Helper()
+		bench := goldenBench()
+		res, err := dpplace.PlaceCtx(context.Background(),
+			bench.Netlist, bench.Core, bench.Placement,
+			dpplace.Options{
+				Mode:   dpplace.StructureAware,
+				Global: global.Options{Workers: workers},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := place(1)
+	if serial.GlobalResult.Workers != 1 {
+		t.Fatalf("workers=1 run reports %d workers", serial.GlobalResult.Workers)
+	}
+	for _, workers := range []int{2, 4} {
+		par := place(workers)
+		samePlacement(t, "workers", serial.Placement, par.Placement)
+		if par.GlobalResult.Workers != workers {
+			t.Errorf("workers=%d run reports %d workers", workers, par.GlobalResult.Workers)
+		}
+		if par.GlobalResult.NetCacheHits == 0 {
+			t.Errorf("workers=%d run recorded no per-net cache hits", workers)
+		}
+	}
 }
 
 // TestCollectModeReport asserts -report-style collection works without a
