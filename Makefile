@@ -8,11 +8,12 @@ COVER_FLOOR ?= 78
 # Where `make bench` generates its design and profiles.
 BENCH_DIR ?= /tmp/dpplace-bench
 
-.PHONY: all check fmt vet build test race fuzz-smoke cover bench bench-workers docs-lint
+.PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
+	bench-workers bench-smoke bench-diff docs-lint
 
 all: check
 
-check: fmt vet build docs-lint race fuzz-smoke
+check: fmt-check vet build docs-lint race fuzz-smoke
 
 # Documentation bar: every package carries a package-level doc comment and
 # every exported identifier is documented (internal/tools/docslint — no
@@ -20,7 +21,11 @@ check: fmt vet build docs-lint race fuzz-smoke
 docs-lint:
 	$(GO) run ./internal/tools/docslint
 
+# fmt rewrites; fmt-check only reports, so CI never mutates the tree.
 fmt:
+	gofmt -w .
+
+fmt-check:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
@@ -61,8 +66,10 @@ bench:
 		-report BENCH_structure_aware.json $(BENCH_DIR)/bench.aux
 	$(GO) run ./cmd/dpplace -quiet -mode baseline \
 		-report BENCH_baseline.json $(BENCH_DIR)/bench.aux
-	@echo "wrote BENCH_structure_aware.json, BENCH_baseline.json and" \
-		"BENCH_structure_aware_trace.jsonl"
+	$(GO) run ./cmd/dpplace -quiet -multilevel \
+		-report BENCH_multilevel.json $(BENCH_DIR)/bench.aux
+	@echo "wrote BENCH_structure_aware.json, BENCH_baseline.json," \
+		"BENCH_multilevel.json and BENCH_structure_aware_trace.jsonl"
 	$(MAKE) bench-workers
 	$(GO) test -run '^$$' -bench 'BenchmarkLineSearchProbe' -benchmem \
 		./internal/place/global | tee BENCH_linesearch_cache.txt
@@ -81,6 +88,20 @@ bench-workers:
 	done
 	$(GO) run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json \
 		BENCH_workers_4.json BENCH_workers_8.json
+
+# One iteration of every benchmark: catches bit-rot in benchmark code
+# without paying for real measurements. CI runs this on every push.
+bench-smoke:
+	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
+
+# Regression gate between two recorded runs: compares OLD and NEW run
+# reports (dpplace-run-report/v1, e.g. two BENCH_structure_aware.json from
+# different commits) stage by stage and fails when NEW's total stage time
+# exceeds OLD's by more than 10%.
+bench-diff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || \
+		{ echo "usage: make bench-diff OLD=old.json NEW=new.json"; exit 2; }
+	$(GO) run ./internal/tools/benchsum -diff $(OLD) $(NEW)
 
 # Short smoke run of each native fuzz target (go allows one -fuzz per
 # invocation, so they run sequentially).

@@ -5,7 +5,8 @@
 //
 //	dpplace [-mode structure-aware|baseline] [-model wa|lse] [-out out.pl]
 //	        [-outer 24] [-inner 50] [-timeout 0] [-on-degrade fallback|fail]
-//	        [-workers N] [-trace run.jsonl] [-report out.json] [-v] [-quiet]
+//	        [-multilevel] [-cluster-ratio 0.22] [-levels 0] [-workers N]
+//	        [-trace run.jsonl] [-report out.json] [-v] [-quiet]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof :6060]
 //	        design.aux
 //
@@ -14,6 +15,11 @@
 // 0 (the default) uses every core; 1 runs the exact serial path. The
 // placement is bit-identical at every worker count — parallelism only
 // trades wall clock for cores — so sweeping -workers is always safe.
+// -multilevel replaces the flat global-placement stage with the V-cycle:
+// connectivity-driven coarsening (extracted datapath groups stay atomic),
+// a cheap solve of the coarsest cluster netlist, then interpolation and
+// warm-started refinement level by level — the scale lever for large
+// designs. -cluster-ratio and -levels tune the hierarchy.
 //
 // Observability: -trace writes the flight-recorder JSONL trace (stage spans,
 // per-iteration solver telemetry, λ-schedule trajectory, health events);
@@ -55,6 +61,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/place/global"
+	"repro/internal/place/multilevel"
 	"repro/internal/viz"
 )
 
@@ -110,22 +117,25 @@ func main() {
 // registerFlags so the usage text and the README drift test share one source
 // of truth.
 type cliFlags struct {
-	mode       *string
-	model      *string
-	outPl      *string
-	outSVG     *string
-	outer      *int
-	inner      *int
-	timeout    *time.Duration
-	onDegrade  *string
-	workers    *int
-	tracePath  *string
-	reportPath *string
-	verbose    *bool
-	quiet      *bool
-	cpuProfile *string
-	memProfile *string
-	pprofAddr  *string
+	mode         *string
+	model        *string
+	outPl        *string
+	outSVG       *string
+	outer        *int
+	inner        *int
+	timeout      *time.Duration
+	onDegrade    *string
+	multilevel   *bool
+	clusterRatio *float64
+	levels       *int
+	workers      *int
+	tracePath    *string
+	reportPath   *string
+	verbose      *bool
+	quiet        *bool
+	cpuProfile   *string
+	memProfile   *string
+	pprofAddr    *string
 }
 
 // flagGroups themes the usage text. Every registered flag must appear in
@@ -135,7 +145,7 @@ var flagGroups = []struct {
 	names []string
 }{
 	{"Run control", []string{"mode", "model", "out", "svg", "outer", "inner", "timeout", "on-degrade"}},
-	{"Performance", []string{"workers", "cpuprofile", "memprofile", "pprof"}},
+	{"Performance", []string{"multilevel", "cluster-ratio", "levels", "workers", "cpuprofile", "memprofile", "pprof"}},
 	{"Observability", []string{"trace", "report", "v", "quiet"}},
 }
 
@@ -151,6 +161,12 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 	f.timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
 	f.onDegrade = fs.String("on-degrade", "fallback",
 		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
+	f.multilevel = fs.Bool("multilevel", false,
+		"V-cycle clustered global placement: coarsen the netlist (datapath groups stay atomic), place the clusters, interpolate and refine level by level")
+	f.clusterRatio = fs.Float64("cluster-ratio", 0.22,
+		"target per-level coarsening ratio, coarse/fine movable cells (with -multilevel)")
+	f.levels = fs.Int("levels", 0,
+		"max coarsening levels, 0 = auto (with -multilevel)")
 	f.workers = fs.Int("workers", 0,
 		"worker count for the parallel hot paths (0 = all cores, 1 = serial; placements are bit-identical at every setting)")
 	f.tracePath = fs.String("trace", "", "write the flight-recorder JSONL trace to this path")
@@ -276,7 +292,12 @@ func run() int {
 	}
 
 	opt := core.Options{
-		Timeout: *timeout,
+		Timeout:    *timeout,
+		Multilevel: *f.multilevel,
+		MultilevelOpts: multilevel.Options{
+			ClusterRatio: *f.clusterRatio,
+			MaxLevels:    *f.levels,
+		},
 		Global: global.Options{
 			WLModel:       *model,
 			MaxOuterIters: *outer,
@@ -380,6 +401,10 @@ func printSummary(w *os.File, mode core.Mode, res *core.Result, rep *metrics.Rep
 	if res.Extraction != nil {
 		fmt.Fprintf(w, "groups:          %d (%d cells)\n", len(res.Extraction.Groups), res.GroupedCells)
 	}
+	if res.Multilevel != nil {
+		fmt.Fprintf(w, "multilevel:      %d levels (coarsest %d cells, ratio %.2f)\n",
+			res.Multilevel.Levels, res.Multilevel.CoarsestCells, res.Multilevel.ClusterRatio)
+	}
 	fmt.Fprintf(w, "HPWL global:     %.0f\n", res.HPWLGlobal)
 	if res.LegalityChecked {
 		fmt.Fprintf(w, "HPWL legal:      %.0f\n", res.HPWLLegal)
@@ -435,6 +460,10 @@ func writeReport(path, design string, mode core.Mode, res *core.Result, rep *met
 		},
 		Counters:   counters,
 		Trajectory: rec.Trajectory(),
+	}
+	if res.Multilevel != nil {
+		out.Levels = res.Multilevel.Levels
+		out.ClusterRatio = res.Multilevel.ClusterRatio
 	}
 	for _, deg := range res.Degradations {
 		out.Degradations = append(out.Degradations, obs.DegradeEntry{

@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/place/multilevel"
 	"repro/internal/viz"
 )
 
@@ -41,6 +42,11 @@ type (
 	Degradation = core.Degradation
 	// StageTimes carries optional per-stage wall-clock budgets.
 	StageTimes = core.StageTimes
+	// MultilevelOptions tunes V-cycle clustered global placement; see
+	// multilevel.Options (enable via Options.Multilevel).
+	MultilevelOptions = multilevel.Options
+	// MultilevelResult reports the V-cycle levels; see multilevel.Result.
+	MultilevelResult = multilevel.Result
 
 	// Netlist is the design hypergraph.
 	Netlist = netlist.Netlist

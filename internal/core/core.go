@@ -32,6 +32,7 @@ import (
 	"repro/internal/place/detail"
 	"repro/internal/place/global"
 	"repro/internal/place/legal"
+	"repro/internal/place/multilevel"
 )
 
 // Sentinel errors re-exported for callers that branch on failure class.
@@ -101,6 +102,15 @@ type Options struct {
 	// a structure-aware solve that repeatedly fails numerical-health checks
 	// (default DegradeFallback).
 	OnDegrade DegradePolicy
+	// Multilevel replaces the flat global-placement stage with the V-cycle:
+	// the netlist is coarsened bottom-up (extracted datapath groups stay
+	// atomic), the coarsest cluster netlist is placed, and positions are
+	// interpolated down level by level with warm-started refinement solves.
+	// Legalization and detailed placement are unchanged.
+	Multilevel bool
+	// MultilevelOpts tunes coarsening when Multilevel is set (zero value =
+	// defaults); its Global and Groups fields are filled by the pipeline.
+	MultilevelOpts multilevel.Options
 }
 
 // StageTimes records a wall-clock duration per pipeline stage. It is used
@@ -142,6 +152,9 @@ type Result struct {
 	GroupedCells    int
 	Times           StageTimes
 	LegalityChecked bool
+	// Multilevel describes the V-cycle (level count, per-level stats) when
+	// Options.Multilevel ran it; nil for the flat flow.
+	Multilevel *multilevel.Result
 	// Partial is set when a deadline stopped the pipeline early; Placement
 	// holds the best iterate reached (legal only if LegalityChecked).
 	Partial bool
@@ -238,12 +251,26 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		groups = kept
 	}
 
-	gOpt.Groups = groups
+	// runGlobal dispatches the global-placement stage: the flat analytical
+	// engine, or the multilevel V-cycle wrapping it level by level.
+	runGlobal := func(gOpt global.Options, groups []global.AlignGroup) (global.Result, error) {
+		gctx, gcancel := pipeline.WithBudget(ctx, opt.Budgets.Global)
+		defer gcancel()
+		if !opt.Multilevel {
+			gOpt.Groups = groups
+			return global.PlaceCtx(gctx, nl, pl, chip, gOpt)
+		}
+		mo := opt.MultilevelOpts
+		mo.Global = gOpt
+		mo.Groups = groups
+		mlRes, mlErr := multilevel.PlaceCtx(gctx, nl, pl, chip, mo)
+		res.Multilevel = &mlRes
+		return mlRes.Global, mlErr
+	}
+
 	gSpan := root.Child("global")
-	gctx, gcancel := pipeline.WithBudget(ctx, opt.Budgets.Global)
 	t0 := time.Now()
-	gRes, err := global.PlaceCtx(gctx, nl, pl, chip, gOpt)
-	gcancel()
+	gRes, err := runGlobal(gOpt, groups)
 	res.Times.Global = time.Since(t0)
 	if err != nil && errors.Is(err, ErrDiverged) && len(groups) > 0 && opt.OnDegrade == DegradeFallback {
 		// The structure-aware solve failed its health checks twice (the
@@ -260,13 +287,13 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		copy(pl.X, initial.X)
 		copy(pl.Y, initial.Y)
 		groups = nil
-		gOpt = opt.Global
-		gOpt.Groups = nil
-		gctx, gcancel = pipeline.WithBudget(ctx, opt.Budgets.Global)
 		t0 = time.Now()
-		gRes, err = global.PlaceCtx(gctx, nl, pl, chip, gOpt)
-		gcancel()
+		gRes, err = runGlobal(opt.Global, nil)
 		res.Times.Global += time.Since(t0)
+	}
+	if res.Multilevel != nil {
+		gSpan.Add("levels", int64(res.Multilevel.Levels))
+		gSpan.Add("coarsest_cells", int64(res.Multilevel.CoarsestCells))
 	}
 	gSpan.Add("outer_iters", int64(gRes.OuterIters))
 	gSpan.Add("func_evals", int64(gRes.FuncEvals))

@@ -1,0 +1,23 @@
+package datapath
+
+import "repro/internal/netlist"
+
+// AtomicSets returns, per extracted group, the group's cells in a canonical
+// deterministic order (column-major: stage by stage, bit by bit). Multilevel
+// coarsening treats each set as one atomic cluster — the whole bits × stages
+// array coarsens into a single coarse cell and is never merged with foreign
+// cells — so the regularity the extractor recovered survives every
+// clustering level and is still intact when the finest level re-aligns the
+// group. Cells belonging to no group are not listed.
+func (e *Extraction) AtomicSets() [][]netlist.CellID {
+	sets := make([][]netlist.CellID, 0, len(e.Groups))
+	for gi := range e.Groups {
+		g := &e.Groups[gi]
+		cells := make([]netlist.CellID, 0, g.NumCells())
+		for _, col := range g.Columns {
+			cells = append(cells, col...)
+		}
+		sets = append(sets, cells)
+	}
+	return sets
+}

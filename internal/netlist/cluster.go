@@ -1,0 +1,253 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ClusterMap records a partition of a flat netlist's cells into clusters and
+// the coarse netlist projected from that partition. It is the substrate of
+// multilevel placement: the coarse netlist is placed cheaply, then positions
+// are interpolated back down through the map.
+//
+// Invariants (checked by ProjectClusters and the multilevel property tests):
+//   - every flat cell belongs to exactly one cluster (the partition is a
+//     bijection between flat cells and (cluster, member-slot) pairs);
+//   - fixed flat cells are singleton clusters, so pads and macros keep their
+//     exact footprint and position at every level;
+//   - total movable area is preserved: a coarse movable cell's area is the
+//     sum of its members' areas.
+type ClusterMap struct {
+	// Flat is the fine netlist the partition was built on.
+	Flat *Netlist
+	// Coarse is the projected cluster-level netlist.
+	Coarse *Netlist
+	// ClusterOf[c] is the coarse cell holding flat cell c.
+	ClusterOf []CellID
+	// Members[k] lists the flat cells of coarse cell k in ascending order.
+	Members [][]CellID
+}
+
+// NumClusters returns the number of coarse cells.
+func (m *ClusterMap) NumClusters() int { return len(m.Members) }
+
+// Ratio returns |coarse movable| / |flat movable|, the per-level coarsening
+// ratio multilevel placement steers by.
+func (m *ClusterMap) Ratio() float64 {
+	fm := m.Flat.NumMovable()
+	if fm == 0 {
+		return 1
+	}
+	return float64(m.Coarse.NumMovable()) / float64(fm)
+}
+
+// ProjectClusters builds the coarse netlist for a cluster assignment.
+// clusterOf maps every flat cell to a non-negative cluster id; ids need not
+// be contiguous — clusters are renumbered deterministically by their lowest
+// flat member. Fixed cells must be singletons (a cluster containing a fixed
+// cell contains nothing else).
+//
+// Projection rules:
+//   - A singleton cluster keeps its cell's footprint, type and pin offsets
+//     exactly. A multi-member cluster becomes a square "CLUSTER" cell whose
+//     area is the sum of the member areas, with every pin at its center.
+//   - Each flat net is folded: pins on cells of one cluster collapse to one
+//     coarse pin; top-level terminal pins (Cell == NoCell) survive as-is.
+//     Nets whose folded degree drops below 2 are internal and vanish.
+//   - Folded 2-pin nets connecting the same pair of multi-member clusters
+//     merge into one net with summed weight, shrinking the coarse problem
+//     without changing its wirelength objective.
+func ProjectClusters(nl *Netlist, clusterOf []int) (*ClusterMap, error) {
+	if len(clusterOf) != nl.NumCells() {
+		return nil, fmt.Errorf("netlist: cluster map covers %d of %d cells",
+			len(clusterOf), nl.NumCells())
+	}
+
+	// Renumber clusters by their lowest member so the coarse cell order is a
+	// deterministic function of the partition alone.
+	compact := map[int]int{}
+	var members [][]CellID
+	for c := range nl.Cells {
+		k := clusterOf[c]
+		if k < 0 {
+			return nil, fmt.Errorf("netlist: cell %d has negative cluster id %d", c, k)
+		}
+		ck, ok := compact[k]
+		if !ok {
+			ck = len(members)
+			compact[k] = ck
+			members = append(members, nil)
+		}
+		members[ck] = append(members[ck], CellID(c))
+	}
+	clusters := make([]CellID, nl.NumCells())
+	for ck, ms := range members {
+		for _, c := range ms {
+			clusters[c] = CellID(ck)
+		}
+	}
+
+	coarse := New(nl.Name + ".coarse")
+	coarse.Reserve(len(members), nl.NumNets(), nl.NumPins())
+	for ck, ms := range members {
+		if len(ms) == 1 {
+			cell := nl.Cell(ms[0])
+			coarse.MustAddCell(fmt.Sprintf("cl%d.%s", ck, cell.Name),
+				cell.Type, cell.W, cell.H, cell.Fixed)
+			continue
+		}
+		area := 0.0
+		for _, c := range ms {
+			cell := nl.Cell(c)
+			if cell.Fixed {
+				return nil, fmt.Errorf("netlist: fixed cell %q clustered with %d others",
+					cell.Name, len(ms)-1)
+			}
+			area += cell.Area()
+		}
+		side := math.Sqrt(area)
+		coarse.MustAddCell(fmt.Sprintf("cl%d", ck), "CLUSTER", side, side, false)
+	}
+
+	// Fold nets. For merge bookkeeping, a folded 2-pin net between two
+	// multi-member clusters is keyed by its (low, high) cluster pair.
+	type pairKey struct{ a, b CellID }
+	merged := map[pairKey]NetID{}
+	multi := func(k CellID) bool { return len(members[k]) > 1 }
+	var ends []Endpoint
+	seen := make([]int, len(members)) // seen[k] = net index + 1 when k already folded
+	endOf := make([]int, len(members))
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		ends = ends[:0]
+		for _, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == NoCell {
+				ends = append(ends, Endpoint{
+					Cell: NoCell, Pin: pin.Name, Dir: pin.Dir, DX: pin.DX, DY: pin.DY,
+				})
+				continue
+			}
+			k := clusters[pin.Cell]
+			if seen[k] == ni+1 {
+				// Another member pin of the same cluster: the endpoint exists;
+				// an output pin upgrades its direction so Driver() still works.
+				if pin.Dir == DirOutput {
+					ends[endOf[k]].Dir = DirOutput
+				}
+				continue
+			}
+			seen[k] = ni + 1
+			endOf[k] = len(ends)
+			e := Endpoint{Cell: k, Pin: pin.Name, Dir: pin.Dir}
+			if multi(k) {
+				cell := coarse.Cell(k)
+				e.DX, e.DY = cell.W/2, cell.H/2
+			} else {
+				e.DX, e.DY = pin.DX, pin.DY
+			}
+			ends = append(ends, e)
+		}
+		if len(ends) < 2 {
+			continue // internal to one cluster
+		}
+		if len(ends) == 2 && ends[0].Cell != NoCell && ends[1].Cell != NoCell &&
+			multi(ends[0].Cell) && multi(ends[1].Cell) {
+			key := pairKey{ends[0].Cell, ends[1].Cell}
+			if key.a > key.b {
+				key.a, key.b = key.b, key.a
+			}
+			if prev, ok := merged[key]; ok {
+				coarse.Nets[prev].Weight += net.Weight
+				continue
+			}
+			id := coarse.MustAddNet(net.Name, net.Weight, ends...)
+			merged[key] = id
+			continue
+		}
+		coarse.MustAddNet(net.Name, net.Weight, ends...)
+	}
+
+	return &ClusterMap{
+		Flat:      nl,
+		Coarse:    coarse,
+		ClusterOf: clusters,
+		Members:   members,
+	}, nil
+}
+
+// ProjectPlacement returns the coarse placement induced by a flat one: each
+// coarse cell is centered on the area-weighted centroid of its members, and
+// singleton clusters (in particular fixed pads) keep their exact position.
+func (m *ClusterMap) ProjectPlacement(flat *Placement) *Placement {
+	pl := NewPlacement(m.Coarse)
+	for ck, ms := range m.Members {
+		cell := m.Coarse.Cell(CellID(ck))
+		if len(ms) == 1 {
+			pl.X[ck] = flat.X[ms[0]]
+			pl.Y[ck] = flat.Y[ms[0]]
+			continue
+		}
+		cx, cy, area := 0.0, 0.0, 0.0
+		for _, c := range ms {
+			fc := m.Flat.Cell(c)
+			a := fc.Area()
+			cx += a * (flat.X[c] + fc.W/2)
+			cy += a * (flat.Y[c] + fc.H/2)
+			area += a
+		}
+		pl.X[ck] = cx/area - cell.W/2
+		pl.Y[ck] = cy/area - cell.H/2
+	}
+	return pl
+}
+
+// InterpolatePlacement pushes a coarse placement down onto the flat cells:
+// every movable member is centered on its cluster's center (fixed members
+// keep their position). The density penalty of the next refinement level
+// spreads the coincident members apart again.
+func (m *ClusterMap) InterpolatePlacement(coarse, flat *Placement) {
+	for ck, ms := range m.Members {
+		cell := m.Coarse.Cell(CellID(ck))
+		cx := coarse.X[ck] + cell.W/2
+		cy := coarse.Y[ck] + cell.H/2
+		for _, c := range ms {
+			fc := m.Flat.Cell(c)
+			if fc.Fixed {
+				continue
+			}
+			flat.X[c] = cx - fc.W/2
+			flat.Y[c] = cy - fc.H/2
+		}
+	}
+}
+
+// CheckBijection verifies the partition is a bijection between flat cells
+// and (cluster, member) slots: every cell appears in exactly one member list
+// and that list's cluster matches ClusterOf. It is the invariant the
+// unclustering step of multilevel placement relies on.
+func (m *ClusterMap) CheckBijection() error {
+	count := make([]int, m.Flat.NumCells())
+	for ck, ms := range m.Members {
+		if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i] < ms[j] }) {
+			return fmt.Errorf("netlist: cluster %d member list is not sorted", ck)
+		}
+		for _, c := range ms {
+			if int(c) < 0 || int(c) >= len(count) {
+				return fmt.Errorf("netlist: cluster %d lists invalid cell %d", ck, c)
+			}
+			count[c]++
+			if m.ClusterOf[c] != CellID(ck) {
+				return fmt.Errorf("netlist: cell %d listed in cluster %d but mapped to %d",
+					c, ck, m.ClusterOf[c])
+			}
+		}
+	}
+	for c, n := range count {
+		if n != 1 {
+			return fmt.Errorf("netlist: cell %d appears in %d clusters", c, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+)
+
+// testNetlist builds a small flat design: four movable cells, one fixed pad,
+// and three nets (one of which will fold internal to a cluster).
+func testNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	nl := New("t")
+	a := nl.MustAddCell("a", "AND2", 2, 1, false)
+	b := nl.MustAddCell("b", "AND2", 2, 1, false)
+	c := nl.MustAddCell("c", "DFF", 3, 1, false)
+	d := nl.MustAddCell("d", "DFF", 3, 1, false)
+	p := nl.MustAddCell("p", "PAD", 1, 1, true)
+	nl.MustAddNet("n_ab", 1,
+		Endpoint{Cell: a, Pin: "Y", Dir: DirOutput},
+		Endpoint{Cell: b, Pin: "A", Dir: DirInput})
+	nl.MustAddNet("n_bc", 2,
+		Endpoint{Cell: b, Pin: "Y", Dir: DirOutput},
+		Endpoint{Cell: c, Pin: "D", Dir: DirInput},
+		Endpoint{Cell: d, Pin: "D", Dir: DirInput})
+	nl.MustAddNet("n_cp", 1,
+		Endpoint{Cell: c, Pin: "Q", Dir: DirOutput},
+		Endpoint{Cell: p, Pin: "IO", Dir: DirInput, DX: 0.5, DY: 0.5})
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestProjectClustersBasics(t *testing.T) {
+	nl := testNetlist(t)
+	// {a,b} merge, {c,d} merge, pad p stays a singleton.
+	cm, err := ProjectClusters(nl, []int{7, 7, 3, 3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.CheckBijection(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.NumClusters(); got != 3 {
+		t.Fatalf("NumClusters = %d, want 3", got)
+	}
+	if got, want := cm.Coarse.MovableArea(), nl.MovableArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("movable area not preserved: %g vs %g", got, want)
+	}
+	// n_ab folds internal to cluster {a,b} and must vanish; n_bc folds to a
+	// 2-pin net {ab}-{cd}; n_cp keeps the pad endpoint.
+	if got := cm.Coarse.NumNets(); got != 2 {
+		t.Fatalf("coarse nets = %d, want 2", got)
+	}
+	for i := range cm.Coarse.Nets {
+		if cm.Coarse.Nets[i].Degree() < 2 {
+			t.Errorf("coarse net %q has degree %d", cm.Coarse.Nets[i].Name, cm.Coarse.Nets[i].Degree())
+		}
+	}
+	// The pad cluster keeps its footprint and fixedness.
+	pc := cm.ClusterOf[4]
+	if cell := cm.Coarse.Cell(pc); !cell.Fixed || cell.W != 1 || cell.H != 1 {
+		t.Errorf("pad cluster lost its identity: %+v", cell)
+	}
+	if err := cm.Coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectClustersMergesParallelTwoPinNets(t *testing.T) {
+	nl := New("m")
+	var cells []CellID
+	for _, name := range []string{"a", "b", "c", "d"} {
+		cells = append(cells, nl.MustAddCell(name, "BUF", 1, 1, false))
+	}
+	// Two parallel nets between the {a,b} and {c,d} clusters must merge into
+	// one coarse net with summed weight.
+	nl.MustAddNet("n1", 1.5,
+		Endpoint{Cell: cells[0], Pin: "Y", Dir: DirOutput},
+		Endpoint{Cell: cells[2], Pin: "A", Dir: DirInput})
+	nl.MustAddNet("n2", 2.5,
+		Endpoint{Cell: cells[1], Pin: "Y", Dir: DirOutput},
+		Endpoint{Cell: cells[3], Pin: "A", Dir: DirInput})
+	cm, err := ProjectClusters(nl, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.Coarse.NumNets(); got != 1 {
+		t.Fatalf("coarse nets = %d, want 1 (parallel 2-pin nets merged)", got)
+	}
+	if w := cm.Coarse.Nets[0].Weight; w != 4 {
+		t.Errorf("merged weight = %g, want 4", w)
+	}
+}
+
+func TestProjectClustersRejectsBadInput(t *testing.T) {
+	nl := testNetlist(t)
+	if _, err := ProjectClusters(nl, []int{0, 1}); err == nil {
+		t.Error("short cluster map accepted")
+	}
+	if _, err := ProjectClusters(nl, []int{0, 1, 2, 3, -1}); err == nil {
+		t.Error("negative cluster id accepted")
+	}
+	// Fixed cell clustered with a movable one.
+	if _, err := ProjectClusters(nl, []int{0, 1, 2, 5, 5}); err == nil {
+		t.Error("fixed cell in a multi-member cluster accepted")
+	}
+}
+
+func TestProjectAndInterpolatePlacement(t *testing.T) {
+	nl := testNetlist(t)
+	cm, err := ProjectClusters(nl, []int{0, 0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewPlacement(nl)
+	for i := range nl.Cells {
+		flat.X[i] = float64(i) * 10
+		flat.Y[i] = float64(i)
+	}
+	coarse := cm.ProjectPlacement(flat)
+	// The pad singleton keeps its exact position.
+	pc := cm.ClusterOf[4]
+	if coarse.X[pc] != flat.X[4] || coarse.Y[pc] != flat.Y[4] {
+		t.Errorf("pad moved during projection: (%g,%g)", coarse.X[pc], coarse.Y[pc])
+	}
+	// Cluster {a,b}: center must be the area-weighted centroid of a and b.
+	k := cm.ClusterOf[0]
+	cell := cm.Coarse.Cell(k)
+	wantX := ((flat.X[0]+1)+(flat.X[1]+1))/2 - cell.W/2 // equal areas, W=2 ⇒ centers at +1
+	if math.Abs(coarse.X[k]-wantX) > 1e-9 {
+		t.Errorf("cluster x = %g, want %g", coarse.X[k], wantX)
+	}
+
+	// Interpolation centers members on the cluster; the pad must not move.
+	down := NewPlacement(nl)
+	down.X[4], down.Y[4] = flat.X[4], flat.Y[4]
+	cm.InterpolatePlacement(coarse, down)
+	if down.X[4] != flat.X[4] || down.Y[4] != flat.Y[4] {
+		t.Error("interpolation moved a fixed cell")
+	}
+	for _, c := range []CellID{0, 1} {
+		cc := down.X[c] + nl.Cell(c).W/2
+		kc := coarse.X[k] + cell.W/2
+		if math.Abs(cc-kc) > 1e-9 {
+			t.Errorf("cell %d center %g, cluster center %g", c, cc, kc)
+		}
+	}
+}

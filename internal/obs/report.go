@@ -28,6 +28,13 @@ type RunReport struct {
 	Workers         int     `json:"workers,omitempty"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 
+	// Levels and ClusterRatio describe the multilevel V-cycle when it ran:
+	// Levels counts placement levels (1 = flat), ClusterRatio is the
+	// coarsest level's movable-cell count relative to the flat netlist.
+	// Both are zero for flat runs.
+	Levels       int     `json:"levels,omitempty"`
+	ClusterRatio float64 `json:"cluster_ratio,omitempty"`
+
 	HPWL         HPWLSummary        `json:"hpwl"`
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 	Counters     map[string]int64   `json:"counters,omitempty"`

@@ -60,6 +60,15 @@ type Options struct {
 	// SkipQuadraticInit keeps the caller-provided start instead of running
 	// the bound-to-bound solve.
 	SkipQuadraticInit bool
+	// Refine treats the caller-provided start as nearly converged (a
+	// multilevel interpolation or an earlier solve's output): the γ schedule
+	// starts 4× more compressed (2× bin size instead of 8×), so the solve
+	// spends its budget polishing instead of re-deriving the global
+	// structure. The density weight still auto-scales from first-order
+	// balance — forcing it higher was tried and blocks wirelength descent on
+	// warm starts. Implies nothing about feasibility — the health guards
+	// behave exactly as in a cold start.
+	Refine bool
 	// Workers is the worker count for the parallel hot paths (wirelength,
 	// density): 0 means GOMAXPROCS, 1 runs everything inline on the calling
 	// goroutine. The placement is bit-identical at every worker count; the
@@ -681,6 +690,11 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 
 	gammaHi := 8 * math.Max(e.grid.BinW, e.grid.BinH)
 	gammaLo := 0.5 * math.Max(e.grid.BinW, e.grid.BinH)
+	if e.o.Refine {
+		// Warm start: the placement is already spread, so the schedule skips
+		// the exploratory large-γ stages and polishes from mid-schedule.
+		gammaHi = 2 * math.Max(e.grid.BinW, e.grid.BinH)
+	}
 	e.setGamma(gammaHi)
 
 	// Auto-scale λ (and α in soft mode) from first-order balance.

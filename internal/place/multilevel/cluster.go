@@ -1,0 +1,191 @@
+// Package multilevel implements V-cycle clustered global placement: the
+// netlist is coarsened bottom-up by connectivity-driven clustering (with
+// extracted datapath groups kept atomic so bits × stages regularity survives
+// coarsening), the coarsest cluster netlist is placed with the analytical
+// engine, and positions are interpolated back down level by level, each
+// level warm-starting a refinement solve under a progressively tighter
+// density target. The driver reuses internal/place/global unchanged at every
+// level, so the determinism, health-guard and cancellation guarantees of the
+// flat engine hold per level — and the whole V-cycle is a deterministic
+// function of the netlist and options.
+package multilevel
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// maxScoredDegree caps the net degree considered by the clustering score:
+// wider nets (clock, reset, control fanout) carry almost no locality signal
+// and would make scoring quadratic in the worst case.
+const maxScoredDegree = 16
+
+// coarsen computes one level of best-choice clustering and returns the
+// cluster id of every cell (ids are union-find roots; ProjectClusters
+// compacts them). Cells listed in an atomic set are pre-merged into one
+// cluster that is never extended; fixed cells and cells marked frozen stay
+// singletons. ratio is the target |coarse movable| / |fine movable|.
+//
+// The pass is deterministic: cells are visited in index order, the best
+// neighbor is the highest clique-model score with ties broken toward the
+// lowest cluster root, and union-find roots are always the lowest member id.
+func coarsen(nl *netlist.Netlist, atomic [][]netlist.CellID, frozen []bool, ratio float64) []int {
+	nc := nl.NumCells()
+	parent := make([]int32, nc)
+	size := make([]int32, nc)
+	area := make([]float64, nc)
+	locked := make([]bool, nc) // cluster may not grow (atomic group / frozen / fixed)
+	for i := 0; i < nc; i++ {
+		parent[i] = int32(i)
+		size[i] = 1
+		area[i] = nl.Cells[i].Area()
+		locked[i] = nl.Cells[i].Fixed || (frozen != nil && frozen[i])
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) int32 {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		if rb < ra {
+			ra, rb = rb, ra // root is always the lowest member id
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		area[ra] += area[rb]
+		locked[ra] = locked[ra] || locked[rb]
+		return ra
+	}
+
+	movable := nl.NumMovable()
+	clusters := movable
+	for _, set := range atomic {
+		if len(set) < 2 {
+			if len(set) == 1 {
+				locked[find(int32(set[0]))] = true
+			}
+			continue
+		}
+		root := int32(set[0])
+		for _, c := range set[1:] {
+			if find(int32(c)) != find(root) {
+				clusters--
+			}
+			root = union(root, int32(c))
+		}
+		locked[find(root)] = true
+	}
+
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.4
+	}
+	target := int(math.Ceil(float64(movable) * ratio))
+	maxMembers := int32(math.Round(1 / ratio))
+	if maxMembers < 2 {
+		maxMembers = 2
+	}
+	avgArea := 0.0
+	if movable > 0 {
+		avgArea = nl.MovableArea() / float64(movable)
+	}
+	maxArea := avgArea * float64(maxMembers) * 2
+
+	// First-choice pass: each unlocked movable cell merges with its highest-
+	// scoring eligible neighbor. The score map is keyed by cluster root;
+	// argmax with a full (score, root) tie-break is iteration-order free.
+	score := map[int32]float64{}
+	for u := 0; u < nc && clusters > target; u++ {
+		cell := &nl.Cells[u]
+		if cell.Fixed {
+			continue
+		}
+		ru := find(int32(u))
+		if locked[ru] || size[ru] >= maxMembers {
+			continue
+		}
+		for k := range score {
+			delete(score, k)
+		}
+		for _, pid := range cell.Pins {
+			net := nl.Net(nl.Pin(pid).Net)
+			deg := net.Degree()
+			if deg < 2 || deg > maxScoredDegree {
+				continue
+			}
+			w := net.Weight / float64(deg-1)
+			for _, qid := range net.Pins {
+				q := nl.Pin(qid)
+				if q.Cell == netlist.NoCell || q.Cell == netlist.CellID(u) {
+					continue
+				}
+				if nl.Cells[q.Cell].Fixed {
+					continue
+				}
+				rv := find(int32(q.Cell))
+				if rv == ru || locked[rv] {
+					continue
+				}
+				if size[ru]+size[rv] > maxMembers || area[ru]+area[rv] > maxArea {
+					continue
+				}
+				score[rv] += w
+			}
+		}
+		best, bestScore := int32(-1), 0.0
+		for rv, s := range score {
+			if s > bestScore || (s == bestScore && best >= 0 && rv < best) {
+				best, bestScore = rv, s
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		union(ru, best)
+		clusters--
+	}
+
+	out := make([]int, nc)
+	for i := 0; i < nc; i++ {
+		out[i] = int(find(int32(i)))
+	}
+	return out
+}
+
+// propagateFrozen marks the coarse cells whose members include a frozen flat
+// cell (an atomic datapath cluster), so coarser levels keep them atomic.
+func propagateFrozen(m *netlist.ClusterMap, frozenFlat []bool) []bool {
+	frozen := make([]bool, m.NumClusters())
+	if frozenFlat == nil {
+		return frozen
+	}
+	for ck, ms := range m.Members {
+		for _, c := range ms {
+			if frozenFlat[c] {
+				frozen[ck] = true
+				break
+			}
+		}
+	}
+	return frozen
+}
+
+// sortedMembers is a test hook: it asserts every member list ProjectClusters
+// built is ascending (the bijection check relies on it) and returns the
+// flattened membership for invariant tests.
+func sortedMembers(m *netlist.ClusterMap) []netlist.CellID {
+	var all []netlist.CellID
+	for _, ms := range m.Members {
+		all = append(all, ms...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}

@@ -9,10 +9,16 @@
 // output and writes the cached-vs-uncached probe cost (and their ratio) as a
 // small JSON summary, so the caching win is committed next to the sweep.
 //
+// With -diff it compares two run reports (typically the same `make bench`
+// artifact from two commits): it prints the per-stage wall-clock deltas and
+// the final-HPWL delta, then exits 1 when the new run's total stage time
+// regressed by more than 10% — the CI bench gate.
+//
 // Usage:
 //
 //	go run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json ...
 //	go run ./internal/tools/benchsum -linesearch bench.txt BENCH_linesearch_cache.json
+//	go run ./internal/tools/benchsum -diff old.json new.json
 package main
 
 import (
@@ -38,6 +44,21 @@ func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchsum BENCH_workers_*.json | benchsum -linesearch bench.txt out.json")
 		os.Exit(2)
+	}
+	if os.Args[1] == "-diff" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchsum -diff old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := diffReports(os.Args[2], os.Args[3])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	}
 	if os.Args[1] == "-linesearch" {
 		if len(os.Args) != 4 {
@@ -88,6 +109,105 @@ func main() {
 		}
 		fmt.Printf("%-8d %-12.3f %-8.2f\n", r.workers, r.global, speedup)
 	}
+}
+
+// slowdownBudget is the bench-diff tolerance: a new run whose total stage
+// time exceeds old × (1 + slowdownBudget) fails the gate. 10% rides above
+// ordinary shared-runner noise on the small `make bench` design while still
+// catching real hot-path regressions.
+const slowdownBudget = 0.10
+
+// diffReports compares two dpplace-run-report/v1 files stage by stage and
+// reports whether the new run is within the slowdown budget.
+func diffReports(oldPath, newPath string) (ok bool, err error) {
+	oldRep, err := loadRaw(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadRaw(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldStages := stageSeconds(oldRep)
+	newStages := stageSeconds(newRep)
+	if len(oldStages) == 0 || len(newStages) == 0 {
+		return false, fmt.Errorf("%s vs %s: a report has no stage_seconds", oldPath, newPath)
+	}
+
+	names := make([]string, 0, len(oldStages)+len(newStages))
+	for n := range oldStages {
+		names = append(names, n)
+	}
+	for n := range newStages {
+		if _, dup := oldStages[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-12s %10s %10s %8s\n", "stage", "old[s]", "new[s]", "delta")
+	var oldTotal, newTotal float64
+	for _, n := range names {
+		o, nw := oldStages[n], newStages[n]
+		oldTotal += o
+		newTotal += nw
+		fmt.Printf("%-12s %10.3f %10.3f %7.1f%%\n", n, o, nw, pctDelta(o, nw))
+	}
+	fmt.Printf("%-12s %10.3f %10.3f %7.1f%%\n", "total", oldTotal, newTotal, pctDelta(oldTotal, newTotal))
+	if oh, nh := finalHPWL(oldRep), finalHPWL(newRep); oh > 0 && nh > 0 {
+		fmt.Printf("%-12s %10.0f %10.0f %7.1f%%\n", "hpwl_final", oh, nh, pctDelta(oh, nh))
+	}
+
+	if oldTotal <= 0 {
+		return false, fmt.Errorf("%s: old report has no positive stage time", oldPath)
+	}
+	if newTotal > oldTotal*(1+slowdownBudget) {
+		fmt.Printf("FAIL: total stage time regressed %.1f%% (budget %.0f%%)\n",
+			pctDelta(oldTotal, newTotal), slowdownBudget*100)
+		return false, nil
+	}
+	fmt.Printf("OK: total stage time within the %.0f%% budget\n", slowdownBudget*100)
+	return true, nil
+}
+
+// loadRaw reads one run report without the worker-sweep field requirements.
+func loadRaw(path string) (map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return raw, nil
+}
+
+// stageSeconds extracts the per-stage wall-clock map of a report.
+func stageSeconds(raw map[string]any) map[string]float64 {
+	stages, _ := raw["stage_seconds"].(map[string]any)
+	out := make(map[string]float64, len(stages))
+	for n, v := range stages {
+		if s, isNum := v.(float64); isNum {
+			out[n] = s
+		}
+	}
+	return out
+}
+
+// finalHPWL extracts hpwl.final, or 0 when the report lacks it.
+func finalHPWL(raw map[string]any) float64 {
+	hpwl, _ := raw["hpwl"].(map[string]any)
+	v, _ := hpwl["final"].(float64)
+	return v
+}
+
+// pctDelta is the old→cur change in percent; 0 when old is 0.
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
 }
 
 // lineSearchSummary parses `go test -bench` output for the cached and
