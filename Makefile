@@ -9,17 +9,36 @@ COVER_FLOOR ?= 78
 BENCH_DIR ?= /tmp/dpplace-bench
 
 .PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
-	bench-workers bench-smoke bench-diff docs-lint
+	bench-workers bench-smoke bench-diff docs-lint lint lint-selftest
 
 all: check
 
-check: fmt-check vet build docs-lint race fuzz-smoke
+check: fmt-check vet build docs-lint lint race fuzz-smoke
 
 # Documentation bar: every package carries a package-level doc comment and
 # every exported identifier is documented (internal/tools/docslint — no
 # external linter dependency).
 docs-lint:
 	$(GO) run ./internal/tools/docslint
+
+# Determinism and concurrency bar: internal/tools/placelint rejects map-order
+# dependence, par-closure discipline violations, wall-clock reads outside
+# internal/obs, exact float comparison and severed error chains. The tree
+# must be clean; safe exceptions carry //placelint:ignore <check> <reason>.
+lint:
+	$(GO) run ./internal/tools/placelint
+
+# Self-test: placelint must still *catch* each violation class. Every seeded
+# testdata package has to make it exit nonzero — a linter that passes its own
+# tree but misses real hazards is worse than none.
+lint-selftest:
+	@for d in internal/tools/placelint/testdata/*/; do \
+		$(GO) run ./internal/tools/placelint $$d >/dev/null 2>&1; st=$$?; \
+		if [ $$st -ne 1 ]; then \
+			echo "FAIL: placelint on $$d exited $$st, want 1 (violations)"; exit 1; \
+		fi; \
+		echo "placelint rejects $$d (as seeded)"; \
+	done
 
 # fmt rewrites; fmt-check only reports, so CI never mutates the tree.
 fmt:

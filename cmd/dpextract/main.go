@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/bookshelf"
 	"repro/internal/datapath"
@@ -50,9 +49,9 @@ func run() int {
 		opt.UseNames = false
 	}
 
-	t0 := time.Now()
+	sw := obs.StartStopwatch()
 	ext := datapath.Extract(d.Netlist, opt)
-	rec.Logf(obs.Debug, "dpextract", "extraction took %.3fs", time.Since(t0).Seconds())
+	rec.Logf(obs.Debug, "dpextract", "extraction took %.3fs", sw.Seconds())
 
 	fmt.Printf("design %s: %d cells, %d nets\n",
 		d.Netlist.Name, d.Netlist.NumCells(), d.Netlist.NumNets())

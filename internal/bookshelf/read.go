@@ -118,7 +118,7 @@ func ReadAux(path string) (*Design, error) {
 		}
 	}
 	if err := nl.Validate(); err != nil {
-		return nil, fmt.Errorf("bookshelf: %s: %v: %w", path, err, ErrMalformedInput)
+		return nil, fmt.Errorf("bookshelf: %s: %w: %w", path, err, ErrMalformedInput)
 	}
 	return d, nil
 }
@@ -169,7 +169,7 @@ func readFileInto(path string, fn func(io.Reader) error) error {
 // problem, not an I/O one.
 func scanErr(err error) error {
 	if errors.Is(err, bufio.ErrTooLong) {
-		return fmt.Errorf("%v: %w", err, ErrMalformedInput)
+		return fmt.Errorf("%w: %w", err, ErrMalformedInput)
 	}
 	return err
 }
@@ -333,7 +333,7 @@ func ReadNets(r io.Reader, nl *netlist.Netlist) error {
 				pendingName, pendingLeft, ErrMalformedInput)
 		}
 		if _, err := nl.AddNet(pendingName, 1, pending...); err != nil {
-			return fmt.Errorf("%v: %w", err, ErrMalformedInput)
+			return fmt.Errorf("%w: %w", err, ErrMalformedInput)
 		}
 		pendingName = ""
 		pending = nil

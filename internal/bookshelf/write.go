@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -25,8 +26,15 @@ func WriteAux(dir, base string, d *Design) (string, error) {
 	if d.Core != nil {
 		files[base+".scl"] = func(w io.Writer) error { return WriteScl(w, d.Core) }
 	}
-	for name, fn := range files {
-		if err := writeFile(filepath.Join(dir, name), fn); err != nil {
+	// Write in sorted name order so directory mtimes and error reporting
+	// are reproducible run to run.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeFile(filepath.Join(dir, name), files[name]); err != nil {
 			return "", err
 		}
 	}

@@ -195,9 +195,9 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 			opt.Extraction = datapath.DefaultOptions()
 		}
 		sp := root.Child("extract")
-		t0 := time.Now()
+		sw := obs.StartStopwatch()
 		ext := datapath.Extract(nl, opt.Extraction)
-		res.Times.Extract = time.Since(t0)
+		res.Times.Extract = sw.Elapsed()
 		res.Extraction = ext
 		res.GroupedCells = ext.NumGrouped()
 		groups = global.AlignGroupsFromExtraction(ext)
@@ -269,9 +269,9 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 	}
 
 	gSpan := root.Child("global")
-	t0 := time.Now()
+	sw := obs.StartStopwatch()
 	gRes, err := runGlobal(gOpt, groups)
-	res.Times.Global = time.Since(t0)
+	res.Times.Global = sw.Elapsed()
 	if err != nil && errors.Is(err, ErrDiverged) && len(groups) > 0 && opt.OnDegrade == DegradeFallback {
 		// The structure-aware solve failed its health checks twice (the
 		// engine already rolled back and re-annealed in between). Dissolve
@@ -287,9 +287,9 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 		copy(pl.X, initial.X)
 		copy(pl.Y, initial.Y)
 		groups = nil
-		t0 = time.Now()
+		sw = obs.StartStopwatch()
 		gRes, err = runGlobal(opt.Global, nil)
-		res.Times.Global += time.Since(t0)
+		res.Times.Global += sw.Elapsed()
 	}
 	if res.Multilevel != nil {
 		gSpan.Add("levels", int64(res.Multilevel.Levels))
@@ -319,10 +319,10 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 
 	lSpan := root.Child("legalize")
 	lctx, lcancel := pipeline.WithBudget(ctx, opt.Budgets.Legalize)
-	t0 = time.Now()
+	sw = obs.StartStopwatch()
 	lRes, err := legal.LegalizeCtx(lctx, nl, pl, chip, legal.Options{Groups: groups})
 	lcancel()
-	res.Times.Legalize = time.Since(t0)
+	res.Times.Legalize = sw.Elapsed()
 	res.LegalResult = lRes
 	lSpan.Add("group_blocks", int64(lRes.GroupBlocks))
 	lSpan.Add("group_fallbacks", int64(lRes.GroupFallbacks))
@@ -351,7 +351,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 	if opt.DetailPasses > 0 {
 		dSpan := root.Child("detail")
 		dctx, dcancel := pipeline.WithBudget(ctx, opt.Budgets.Detail)
-		t0 = time.Now()
+		sw = obs.StartStopwatch()
 		// Group cells are locked against generic moves; their stage order
 		// is optimized by the structure-preserving column swaps instead.
 		res.DetailResult = detail.Improve(nl, pl, chip, detail.Options{
@@ -363,7 +363,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, chip *geom.Core, initial
 			res.ColumnSwaps = detail.ImproveColumns(nl, pl, groups, opt.DetailPasses)
 		}
 		dcancel()
-		res.Times.Detail = time.Since(t0)
+		res.Times.Detail = sw.Elapsed()
 		dSpan.Add("moves", int64(res.DetailResult.Moves))
 		dSpan.Add("column_swaps", int64(res.ColumnSwaps))
 		dSpan.End()

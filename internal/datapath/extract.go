@@ -320,6 +320,7 @@ func (ex *extractor) dominantSigSubset(col []netlist.CellID) []netlist.CellID {
 	}
 	var best Sig
 	bestN := -1
+	//placelint:ignore maporder argmax with a full (count, sig) tie break is iteration-order independent
 	for s, n := range counts {
 		if n > bestN || (n == bestN && s < best) {
 			best, bestN = s, n

@@ -47,6 +47,7 @@ func Compare(truth, got Labels) Score {
 	var s Score
 	s.TruePairs = countPairs(truth)
 	slices := collectSlices(got)
+	//placelint:ignore maporder integer pair counting; addition over slice values is order independent
 	for _, cells := range slices {
 		for i := 0; i < len(cells); i++ {
 			for j := i + 1; j < len(cells); j++ {
@@ -83,6 +84,7 @@ func collectSlices(l Labels) map[[2]int][]int {
 
 func countPairs(l Labels) int {
 	n := 0
+	//placelint:ignore maporder integer sum is order independent
 	for _, cells := range collectSlices(l) {
 		n += len(cells) * (len(cells) - 1) / 2
 	}

@@ -85,11 +85,13 @@ func mergeOnce(nl *netlist.Netlist, groups []Group, maxFanout int) []Group {
 		total int
 	}
 	var cands []cand
+	//placelint:ignore maporder candidates are fully sorted by (total, keys) before use below
 	for k, v := range votes {
 		if groups[k.g1].Bits() != groups[k.g2].Bits() {
 			continue
 		}
 		total := 0
+		//placelint:ignore maporder integer sum is order independent
 		for _, n := range v {
 			total += n
 		}
@@ -149,12 +151,17 @@ func consistentMapping(v map[[2]int]int, bits int) ([]int, bool) {
 	for i := range best {
 		best[i] = -1
 	}
+	// Per-bit argmax with a full (votes, target) tie break: on equal votes
+	// the smaller target bit wins. Without the tie break the winner was
+	// whichever entry map iteration visited first, which made the accepted
+	// mapping — and so the merge decision — vary from run to run.
+	//placelint:ignore maporder argmax with a full (votes, target) tie break is iteration-order independent
 	for key, n := range v {
 		i, j := key[0], key[1]
 		if i >= bits || j >= bits {
 			return nil, false
 		}
-		if n > score[i] {
+		if n > score[i] || (n > 0 && n == score[i] && (best[i] < 0 || j < best[i])) {
 			score[i] = n
 			best[i] = j
 		}

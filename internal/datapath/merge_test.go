@@ -1,0 +1,62 @@
+package datapath
+
+import "testing"
+
+// TestConsistentMappingTieBreakDeterministic pins the fix for a real
+// nondeterminism placelint's maporder check surfaced: the per-bit argmax over
+// the vote map used to keep whichever entry map iteration visited first, so
+// on tied votes the accepted bit permutation — and with it the merge
+// decision — changed between runs. The tie must now always resolve to the
+// smallest target bit, independent of iteration order.
+func TestConsistentMappingTieBreakDeterministic(t *testing.T) {
+	// Bit 0 has a genuine tie: targets 0 and 2 both carry 3 votes, and the
+	// smaller-target rule must pick 0 every time. The remaining bits vote
+	// unambiguously, completing the identity permutation.
+	votes := map[[2]int]int{
+		{0, 2}: 3,
+		{0, 0}: 3,
+		{1, 1}: 4,
+		{2, 2}: 2,
+		{3, 3}: 5,
+	}
+	want := []int{0, 1, 2, 3}
+	for trial := 0; trial < 200; trial++ {
+		// Rebuild the map every trial so Go's per-map iteration seed varies;
+		// before the tie break this flipped best[0] between 0 and 2.
+		v := make(map[[2]int]int, len(votes))
+		//placelint:ignore maporder copying into a map; insertion order cannot be observed
+		for k, n := range votes {
+			v[k] = n
+		}
+		got, ok := consistentMapping(v, 4)
+		if !ok {
+			t.Fatalf("trial %d: mapping rejected", trial)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mapping %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestConsistentMappingZeroVotesNeverWin guards the tie break's n > 0 term:
+// score starts at zero, so without it a zero-vote pair would "tie" the
+// initial score and claim a target it has no evidence for — here target 1,
+// which collides with bit 1's real vote and would sink the whole mapping on
+// the injectivity check.
+func TestConsistentMappingZeroVotesNeverWin(t *testing.T) {
+	votes := map[[2]int]int{
+		{0, 1}: 0,
+		{1, 1}: 2,
+		{2, 2}: 2,
+		{3, 3}: 2,
+	}
+	got, ok := consistentMapping(votes, 4)
+	if !ok {
+		t.Fatal("mapping rejected: the zero-vote pair must be ignored, not scored")
+	}
+	if got[0] != 0 {
+		t.Fatalf("bit 0 must take the identity fill, got target %d (mapping %v)", got[0], got)
+	}
+}

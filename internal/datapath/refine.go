@@ -65,6 +65,7 @@ func (ex *extractor) partialMasks(seed []netlist.CellID) [][]bool {
 			degCount[nl.Net(ni).Degree()]++
 		}
 		wantDeg, bestN := -1, 0
+		//placelint:ignore maporder argmax with a full (count, degree) tie break is iteration-order independent
 		for d, n := range degCount {
 			if n > bestN || (n == bestN && d < wantDeg) {
 				wantDeg, bestN = d, n
@@ -225,8 +226,16 @@ func (ex *extractor) foldOne(g Group) (Group, bool) {
 				rowsByPin[p.Name][p.Net] = append(rowsByPin[p.Name][p.Net], b)
 			}
 		}
-		for _, byNet := range rowsByPin {
-			h := buildFoldHypothesis(byNet, bits, ex.opt.MinBits)
+		// Visit pins in sorted name order: the class-count comparison below
+		// keeps the first hypothesis on ties, so map order would otherwise
+		// decide which equally-good pin wins — and with it the partition.
+		pins := make([]string, 0, len(rowsByPin))
+		for name := range rowsByPin {
+			pins = append(pins, name)
+		}
+		sort.Strings(pins)
+		for _, name := range pins {
+			h := buildFoldHypothesis(rowsByPin[name], bits, ex.opt.MinBits)
 			if h == nil {
 				continue
 			}
@@ -265,12 +274,14 @@ type foldHyp struct {
 // they must be a minority.
 func buildFoldHypothesis(byNet map[netlist.NetID][]int, bits, minBits int) *foldHyp {
 	sizeCount := map[int]int{} // class size → rows covered
+	//placelint:ignore maporder integer accumulation keyed by class size is order independent
 	for _, rows := range byNet {
 		if len(rows) >= 2 {
 			sizeCount[len(rows)] += len(rows)
 		}
 	}
 	k, covered := 0, 0
+	//placelint:ignore maporder argmax with a full (coverage, size) tie break is iteration-order independent
 	for sz, rows := range sizeCount {
 		if rows > covered || (rows == covered && sz < k) {
 			k, covered = sz, rows
@@ -287,6 +298,7 @@ func buildFoldHypothesis(byNet map[netlist.NetID][]int, bits, minBits int) *fold
 	// require disjoint classes.
 	seen := make([]bool, bits)
 	var classes [][]int
+	//placelint:ignore maporder classes are disjoint (else nil) and fully sorted before use below
 	for _, rows := range byNet {
 		if len(rows) != k {
 			continue

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/place/global"
 )
 
@@ -42,7 +43,7 @@ func RunCase(cfg gen.Config, opts RunOpts) (*Case, error) {
 	b := gen.Generate(cfg)
 	c := &Case{Cfg: cfg, Bench: b}
 
-	t0 := time.Now()
+	sw := obs.StartStopwatch()
 	base, err := core.Place(b.Netlist, b.Core, b.Placement, core.Options{
 		Mode:   core.Baseline,
 		Global: opts.globalOpts(),
@@ -50,11 +51,11 @@ func RunCase(cfg gen.Config, opts RunOpts) (*Case, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s baseline: %w", cfg.Name, err)
 	}
-	c.BaseTime = time.Since(t0)
+	c.BaseTime = sw.Elapsed()
 	c.Base = base
 	c.BaseRep = metrics.Evaluate(b.Netlist, base.Placement, b.Core, metrics.Options{})
 
-	t0 = time.Now()
+	sw = obs.StartStopwatch()
 	sa, err := core.Place(b.Netlist, b.Core, b.Placement, core.Options{
 		Mode:   core.StructureAware,
 		Global: opts.globalOpts(),
@@ -62,7 +63,7 @@ func RunCase(cfg gen.Config, opts RunOpts) (*Case, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s structure-aware: %w", cfg.Name, err)
 	}
-	c.SATime = time.Since(t0)
+	c.SATime = sw.Elapsed()
 	c.SA = sa
 	c.SARep = metrics.Evaluate(b.Netlist, sa.Placement, b.Core, metrics.Options{})
 	return c, nil

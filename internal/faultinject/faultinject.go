@@ -12,6 +12,7 @@ package faultinject
 
 import (
 	"io"
+	//placelint:ignore walltime explicitly seeded PRNG; fault schedules are deterministic by construction and never read wall time
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -133,6 +134,7 @@ func FiredTotal() int {
 	mu.Lock()
 	defer mu.Unlock()
 	n := 0
+	//placelint:ignore maporder integer sum is order independent
 	for _, st := range sites {
 		n += st.fired
 	}

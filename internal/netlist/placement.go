@@ -184,7 +184,10 @@ func (p *Placement) CheckLegal(nl *Netlist, core *geom.Core) error {
 			byRow[ri+dr] = append(byRow[ri+dr], placed{CellID(i), p.X[i], c.W})
 		}
 	}
-	for _, cells := range byRow {
+	// Scan rows in index order so the first-reported overlap is the same
+	// pair on every run (map order would vary the error message).
+	for r := 0; r < core.NumRows(); r++ {
+		cells := byRow[r]
 		sort.Slice(cells, func(a, b int) bool { return cells[a].x < cells[b].x })
 		for k := 1; k < len(cells); k++ {
 			prev, cur := cells[k-1], cells[k]

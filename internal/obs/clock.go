@@ -1,0 +1,36 @@
+// Clock ownership: this file is the one sanctioned wall-clock access point
+// for non-test code outside internal/obs itself. Solver and pipeline code
+// must not call time.Now/time.Since directly (placelint's walltime check
+// rejects it): timing is telemetry, and concentrating it here keeps the
+// solver paths free of hidden nondeterminism and keeps every duration that
+// reaches a report flowing through one auditable type.
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall time for reports and spans. The zero
+// value reads as zero elapsed time; real measurements start with
+// StartStopwatch. A Stopwatch is a value — copy it freely, read it from
+// any goroutine.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// StartStopwatch starts timing now.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{t0: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started (zero for the
+// zero value).
+func (s Stopwatch) Elapsed() time.Duration {
+	if s.t0.IsZero() {
+		return 0
+	}
+	return time.Since(s.t0)
+}
+
+// Seconds returns Elapsed in seconds, the unit run reports use.
+func (s Stopwatch) Seconds() float64 {
+	return s.Elapsed().Seconds()
+}

@@ -135,6 +135,7 @@ func (r *Recorder) Counters() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.counters))
+	//placelint:ignore maporder copying into a map; insertion order cannot be observed
 	for k, v := range r.counters {
 		out[k] = v
 	}
@@ -346,6 +347,7 @@ func (s *Span) End() {
 	var counters map[string]int64
 	if len(s.counters) > 0 {
 		counters = make(map[string]int64, len(s.counters))
+		//placelint:ignore maporder copying into a map; insertion order cannot be observed
 		for k, v := range s.counters {
 			counters[k] = v
 		}

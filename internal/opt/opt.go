@@ -286,6 +286,10 @@ func Minimize(f Func, x []float64, opt Options) Result {
 
 		// Barzilai–Borwein-style initial step for the next iteration:
 		// grow on easy acceptance, inherit the backtracked scale otherwise.
+		// Exact equality is intended: alpha is initialized to step and only
+		// changes when backtracking multiplies it, so == detects "the first
+		// trial step was accepted", not numerical coincidence.
+		//placelint:ignore floateq alpha is a copy of step unless backtracking rescaled it; == detects acceptance exactly
 		if alpha == step {
 			step = alpha * 2
 		} else {

@@ -41,6 +41,9 @@ func ImproveColumns(nl *netlist.Netlist, pl *netlist.Placement, groups []global.
 func isAligned(pl *netlist.Placement, g global.AlignGroup) bool {
 	for _, col := range g.Cols {
 		for _, c := range col[1:] {
+			// Alignment assigns the identical value to every cell of a column,
+			// so bitwise inequality is exactly "this group was dissolved".
+			//placelint:ignore floateq aligned columns share one assigned x; any difference means a dissolved group
 			if pl.X[c] != pl.X[col[0]] {
 				return false
 			}
@@ -74,6 +77,7 @@ func (d *improver) columnSwapPass(g global.AlignGroup) int {
 	moves := 0
 	for i := 0; i < len(cols); i++ {
 		for j := i + 1; j < len(cols); j++ {
+			//placelint:ignore floateq cell widths are stored netlist values, never computed; only identical widths may swap
 			if cols[i].w != cols[j].w {
 				continue
 			}

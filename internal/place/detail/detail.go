@@ -240,6 +240,7 @@ func (d *improver) vSwapPass() int {
 					continue
 				}
 				p := upper[j]
+				//placelint:ignore floateq cell widths are stored netlist values, never computed; the swap needs identical widths
 				if d.locked(p) || nl.Cell(p).W != cw {
 					continue
 				}

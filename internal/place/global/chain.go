@@ -71,11 +71,19 @@ func chainOrder(nl *netlist.Netlist, g AlignGroup, maxFanout int) []int {
 		}
 	}
 
-	// Start from the weakest-coupled column (a chain end).
+	// Start from the weakest-coupled column (a chain end). Sum couplings in
+	// sorted key order: float addition is not associative, so accumulating
+	// in map order would make the totals — and with them the start-column
+	// choice — vary in the last ulp from run to run.
 	totals := make([]float64, n)
 	for i := range w {
-		for _, v := range w[i] {
-			totals[i] += v
+		keys := make([]int, 0, len(w[i]))
+		for c := range w[i] {
+			keys = append(keys, c)
+		}
+		sort.Ints(keys)
+		for _, c := range keys {
+			totals[i] += w[i][c]
 		}
 	}
 	start := 0
@@ -95,10 +103,12 @@ func chainOrder(nl *netlist.Netlist, g AlignGroup, maxFanout int) []int {
 		// and equal-coupling ties are common in regular datapaths, so a plain
 		// range argmax here made the whole placement nondeterministic.
 		best, bestW := -1, -1.0
+		//placelint:ignore maporder argmax with the full (weight, index) tie break added in the PR 2 determinism fix
 		for c, v := range w[last] {
 			if used[c] {
 				continue
 			}
+			//placelint:ignore floateq coupling counts are small integer sums stored in float64; == is exact tie detection
 			if v > bestW || (v == bestW && (best < 0 || c < best)) {
 				best, bestW = c, v
 			}
@@ -123,6 +133,7 @@ func chainOrder(nl *netlist.Netlist, g AlignGroup, maxFanout int) []int {
 				cands = append(cands, cand{c, cw})
 			}
 			sort.Slice(cands, func(a, b int) bool {
+				//placelint:ignore floateq comparator tie detection; equal sums fall through to the index key for a total order
 				if cands[a].w != cands[b].w {
 					return cands[a].w > cands[b].w
 				}

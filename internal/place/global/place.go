@@ -602,6 +602,7 @@ func (e *engine) evalWL(withGrad bool, weight float64) float64 {
 // slices. NaNs compare unequal, which conservatively forces re-evaluation.
 func coordsEqual(a, b []float64) bool {
 	for i := range a {
+		//placelint:ignore floateq deliberately bitwise: the caller needs "identical iterate", not "close iterate"
 		if a[i] != b[i] {
 			return false
 		}

@@ -112,9 +112,7 @@ func coarsen(nl *netlist.Netlist, atomic [][]netlist.CellID, frozen []bool, rati
 		if locked[ru] || size[ru] >= maxMembers {
 			continue
 		}
-		for k := range score {
-			delete(score, k)
-		}
+		clear(score)
 		for _, pid := range cell.Pins {
 			net := nl.Net(nl.Pin(pid).Net)
 			deg := net.Degree()
@@ -141,7 +139,9 @@ func coarsen(nl *netlist.Netlist, atomic [][]netlist.CellID, frozen []bool, rati
 			}
 		}
 		best, bestScore := int32(-1), 0.0
+		//placelint:ignore maporder argmax with a full (score, root) tie break is iteration-order independent
 		for rv, s := range score {
+			//placelint:ignore floateq scores accumulate identical weight terms for symmetric neighbors; == is exact tie detection
 			if s > bestScore || (s == bestScore && best >= 0 && rv < best) {
 				best, bestScore = rv, s
 			}

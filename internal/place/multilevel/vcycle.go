@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -156,7 +155,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, c
 		sp := rec.Span(fmt.Sprintf("multilevel/level%d", k))
 		sp.Add("cells", int64(levels[k].nl.NumCells()))
 		sp.Add("nets", int64(levels[k].nl.NumNets()))
-		t0 := time.Now()
+		sw := obs.StartStopwatch()
 		gRes, gErr := global.PlaceCtx(ctx, levels[k].nl, levels[k].pl, chip, gOpt)
 		sp.Add("outer_iters", int64(gRes.OuterIters))
 		sp.End()
@@ -167,7 +166,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, c
 			Movable:    levels[k].nl.NumMovable(),
 			HPWL:       levels[k].pl.HPWL(levels[k].nl),
 			OuterIters: gRes.OuterIters,
-			Seconds:    time.Since(t0).Seconds(),
+			Seconds:    sw.Seconds(),
 		})
 		res.Global = gRes
 		if gErr != nil {

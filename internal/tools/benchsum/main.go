@@ -187,6 +187,7 @@ func loadRaw(path string) (map[string]any, error) {
 func stageSeconds(raw map[string]any) map[string]float64 {
 	stages, _ := raw["stage_seconds"].(map[string]any)
 	out := make(map[string]float64, len(stages))
+	//placelint:ignore maporder copying into a map; insertion order cannot be observed
 	for n, v := range stages {
 		if s, isNum := v.(float64); isNum {
 			out[n] = s

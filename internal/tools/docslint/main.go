@@ -71,8 +71,15 @@ func lintTree(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	var violations []string
+	// Lint in sorted directory order: the tool's own output must be as
+	// reproducible as the code it polices.
+	sorted := make([]string, 0, len(dirs))
 	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+	var violations []string
+	for _, dir := range sorted {
 		v, err := lintDir(dir)
 		if err != nil {
 			return nil, err
@@ -113,8 +120,11 @@ func lintDir(dir string) ([]string, error) {
 	}
 	var violations []string
 	if !hasPkgDoc {
+		// Anchor the violation to the package's first file so the finding is
+		// clickable and the testdata harness can match it by position.
+		p := fset.Position(files[0].Pos())
 		violations = append(violations,
-			fmt.Sprintf("%s: package %s has no package-level doc comment", dir, pkgName))
+			fmt.Sprintf("%s:%d: package %s has no package-level doc comment", p.Filename, p.Line, pkgName))
 	}
 	for _, f := range files {
 		for _, decl := range f.Decls {

@@ -1,0 +1,27 @@
+package missingdocs // want "package missingdocs has no package-level doc comment"
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+// Documented carries a doc comment and must not be flagged.
+func Documented() {}
+
+func unexported() {} // exempt: never renders in godoc
+
+type Public struct{} // want "exported type Public has no doc comment"
+
+// Describe is documented.
+func (Public) Describe() {}
+
+func (Public) Bare() {} // want "exported method Bare has no doc comment"
+
+type hidden struct{}
+
+func (hidden) Exported() {} // exempt: methods on unexported receivers never render
+
+var Threshold = 3
+
+// want[-2] "exported const/var Threshold has no doc comment"
+
+// Limit is documented. A trailing same-line comment would count as the
+// spec's doc, so the want above uses a line offset instead.
+var Limit = 5

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// checkErrWrap enforces the internal/pipeline error-taxonomy contract:
+// callers branch on the four sentinels (ErrTimeout, ErrDiverged,
+// ErrDegenerateGroups, ErrMalformedInput) with errors.Is, which only works
+// while every wrapping layer preserves the chain. A single fmt.Errorf that
+// formats an error with %v or %s instead of %w severs the chain and turns a
+// typed degradation into a generic failure.
+//
+// The check is module-wide rather than scoped to pipeline call sites:
+// every stage error eventually crosses the taxonomy boundary, so any lossy
+// wrap on the way up is a defect. Deliberate flattening (e.g. folding an
+// error into a log string) is annotated //placelint:ignore errwrap <reason>.
+func checkErrWrap(p *pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(p.info, call) || len(call.Args) < 2 {
+				return true
+			}
+			format := constStringValue(p.info, call.Args[0])
+			if format == "" {
+				return true // non-constant format: nothing to verify
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				t := p.info.TypeOf(arg)
+				if t == nil || !types.Implements(t, errIface) {
+					continue
+				}
+				verb := byte('v')
+				if i < len(verbs) {
+					verb = verbs[i]
+				}
+				if verb != 'w' {
+					p.reportf(arg.Pos(), "errwrap",
+						"error argument formatted with %%%c: use %%w so the pipeline sentinel chain survives errors.Is", verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFmtErrorf reports whether call invokes fmt.Errorf.
+func isFmtErrorf(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf"
+}
+
+// constStringValue returns e's compile-time string value, or "".
+func constStringValue(info *types.Info, e ast.Expr) string {
+	v := info.Types[e].Value
+	if v == nil || v.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(v)
+}
+
+// formatVerbs maps each format argument position to its verb letter,
+// following fmt's syntax far enough for the wrap check: flags, width,
+// precision (each possibly '*', which consumes an argument) and explicit
+// argument indexes '[n]'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	argIdx := 0
+	note := func(idx int, verb byte) {
+		for len(verbs) <= idx {
+			verbs = append(verbs, 0)
+		}
+		verbs[idx] = verb
+	}
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && (format[i] == '+' || format[i] == '-' ||
+			format[i] == '#' || format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// explicit argument index
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				argIdx = n - 1
+				i = j + 1
+			}
+		}
+		// width / precision, '*' consumes an argument each
+		for i < len(format) && (format[i] == '.' || format[i] == '*' ||
+			(format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				argIdx++
+			}
+			i++
+		}
+		if i < len(format) {
+			note(argIdx, format[i])
+			argIdx++
+		}
+	}
+	return verbs
+}

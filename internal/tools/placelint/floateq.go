@@ -1,0 +1,87 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// checkFloatEq flags == and != between floating-point operands. Exact float
+// comparison is order-of-evaluation- and optimization-sensitive: two
+// mathematically equal reductions can differ in the last ulp, so an exact
+// comparison that gates solver behavior is a latent nondeterminism (and a
+// latent never-true branch).
+//
+// Exempt are: comparisons where either operand is a compile-time constant
+// (`x == 0`, `boost != 1` — the constant side is exact, and the idiom is a
+// sentinel check against a value that was *assigned*, not computed; the
+// hazard this check targets is comparing two computed floats), the NaN
+// self-test idiom `x != x`, and any code inside an approved epsilon
+// helper — a function whose name matches approvedFloatEqFunc (almostEqual,
+// approxEq, …, or anything mentioning eps), since the helper is exactly
+// where the exact comparison belongs. Deliberate bitwise-exact comparisons
+// elsewhere (tie-break detection, golden convergence checks) carry
+// //placelint:ignore floateq <reason>.
+func checkFloatEq(p *pass) {
+	for _, f := range p.files {
+		helpers := approvedHelperSpans(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.info.TypeOf(be.X)) && !isFloat(p.info.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(p.info, be.X) || isConst(p.info, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // NaN check: x != x (or a tautology — vet's problem)
+			}
+			for _, span := range helpers {
+				if be.Pos() >= span[0] && be.Pos() < span[1] {
+					return true
+				}
+			}
+			p.reportf(be.Pos(), "floateq",
+				"%s on float operands: compare through an epsilon helper, or annotate //placelint:ignore floateq <why exact equality is intended>", be.Op)
+			return true
+		})
+	}
+}
+
+// approvedFloatEqFunc matches the names of functions allowed to compare
+// floats exactly: the epsilon helpers themselves.
+var approvedFloatEqFunc = regexp.MustCompile(`(?i)(almost|approx|near|fuzzy)eq|eps`)
+
+// approvedHelperSpans returns the [start, end) extents of every approved
+// epsilon-helper function declared in f.
+func approvedHelperSpans(f *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if approvedFloatEqFunc.MatchString(fd.Name.Name) {
+			spans = append(spans, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	return spans
+}
+
+// isFloat reports whether t is (an alias of) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}

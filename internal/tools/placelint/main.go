@@ -1,0 +1,174 @@
+// Command placelint machine-enforces the repository's determinism and
+// concurrency invariants: the properties that keep placements bit-identical
+// at every worker count and keep the error taxonomy testable with errors.Is.
+// Golden tests catch a violation only after it has corrupted a placement;
+// placelint rejects the hazard pattern at review time, before it runs.
+//
+// It is stdlib-only (go/ast + go/parser + go/types with the source
+// importer), following the docslint precedent — no external linter
+// dependency. Five checks ship today, one file each:
+//
+//	maporder       for-range over a map outside the collect-then-sort idiom
+//	pardiscipline  writes escaping the worker-owned slot inside closures
+//	               passed to internal/par (the compute-then-reduce rule)
+//	walltime       time.Now / time.Since / time.Until / math/rand outside
+//	               internal/obs, internal/gen and _test.go files
+//	floateq        == / != on floating-point operands outside approved
+//	               epsilon helpers
+//	errwrap        error arguments formatted with a verb other than %w,
+//	               which would sever the internal/pipeline sentinel chain
+//
+// A true finding that is nevertheless safe is suppressed in place with
+//
+//	//placelint:ignore <check> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a bare ignore is itself a violation, so every suppression
+// documents why the invariant holds anyway.
+//
+// Usage:
+//
+//	go run ./internal/tools/placelint [dir ...]
+//
+// With no arguments it lints the whole module ("."). Test files and
+// testdata directories are exempt. Exit status: 0 clean, 1 violations,
+// 2 operational failure (parse or type-check error).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var all []finding
+	for _, root := range roots {
+		dirs, err := collectDirs(root)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, dir := range dirs {
+			fs, err := lintDir(fset, imp, dir, nil)
+			if err != nil {
+				fatalf("%s: %v", dir, err)
+			}
+			all = append(all, fs...)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sortFindings(all)
+	for _, f := range all {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n",
+			f.pos.Filename, f.pos.Line, f.pos.Column, f.check, f.msg)
+	}
+	fmt.Fprintf(os.Stderr, "placelint: %d violation(s)\n", len(all))
+	os.Exit(1)
+}
+
+// fatalf reports an operational failure (not a lint violation) and exits 2,
+// so CI can distinguish "tree is dirty" from "linter could not run".
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "placelint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// collectDirs walks root and returns, sorted, every directory holding at
+// least one non-test Go file. Hidden, underscore and testdata directories
+// are skipped — testdata under this tool holds intentional violations for
+// the self-test, and must never fail the tree lint.
+func collectDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && name != root &&
+				(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// sortFindings orders findings by file, line, column, then check name, so
+// output (and the testdata harness) is stable regardless of check order.
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.check < b.check
+	})
+}
+
+// lintDir parses and type-checks the non-test Go files of one directory as
+// a single package and runs the checks over it. only restricts the run to
+// the named checks (nil means all); the ignore-directive validator always
+// runs. Used by main for the tree walk and by the test harness for the
+// seeded testdata packages.
+func lintDir(fset *token.FileSet, imp types.Importer, dir string, only []string) ([]finding, error) {
+	files, err := parseDirFiles(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := conf.Check(abs, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check: %w", err)
+	}
+	p := newPass(fset, files, pkg, info)
+	p.run(only)
+	return p.findings, nil
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkMapOrder flags every `for … range m` where m is a map. Go randomizes
+// map iteration order per run, so any map range whose body's effect depends
+// on visit order makes the placement nondeterministic — exactly the bug
+// PR 2 had to chase through global/chain.go's argmax.
+//
+// The one idiom that is provably order-independent and therefore exempt is
+// collect-then-sort: a loop body that only appends keys (or values) to
+// slices, each of which is passed to a sort call later in the same
+// function. Everything else must either adopt that idiom or carry a
+// //placelint:ignore maporder <reason> explaining why order cannot leak
+// into results (e.g. the body only inserts into another map, or the loop is
+// a pure existence scan).
+func checkMapOrder(p *pass) {
+	for _, f := range p.files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.collectThenSorted(file, rs) {
+				return true
+			}
+			p.reportf(rs.Pos(), "maporder",
+				"range over map has nondeterministic order; collect the keys into a slice and sort, or annotate //placelint:ignore maporder <why order cannot affect results>")
+			return true
+		})
+	}
+}
+
+// collectThenSorted reports whether rs is the collect half of the
+// collect-then-sort idiom: every statement in its body appends to a slice
+// variable — possibly behind an if-filter, which preserves order
+// independence — and every one of those slices is handed to a sort call
+// somewhere in the same enclosing function.
+func (p *pass) collectThenSorted(f *ast.File, rs *ast.RangeStmt) bool {
+	targets := map[types.Object]bool{}
+	for _, stmt := range rs.Body.List {
+		if !collectStmt(p.info, stmt, targets) {
+			return false
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	body := enclosingFuncBody(f, rs.Pos())
+	if body == nil {
+		return false
+	}
+	// Every collected slice must reach a sort call. Count the distinct
+	// targets seen as sort arguments; all must be covered.
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(p.info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			markUsedTargets(p.info, arg, targets, sorted)
+		}
+		return true
+	})
+	return len(sorted) == len(targets)
+}
+
+// collectStmt reports whether stmt only collects into slices, recording the
+// slice variables into targets. Allowed shapes: `x = append(x, …)` and an
+// if statement (no else, no init) whose body only collects — filtering
+// before a sorted collect cannot reintroduce order dependence.
+func collectStmt(info *types.Info, stmt ast.Stmt, targets map[types.Object]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		obj := appendTarget(info, s)
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+		return true
+	case *ast.IfStmt:
+		if s.Else != nil {
+			return false
+		}
+		if s.Init != nil {
+			// Only a `x := …` declaration init (the comma-ok lookup idiom);
+			// anything assigning to existing state could leak order.
+			init, ok := s.Init.(*ast.AssignStmt)
+			if !ok || init.Tok != token.DEFINE {
+				return false
+			}
+		}
+		for _, st := range s.Body.List {
+			if !collectStmt(info, st, targets) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// appendTarget returns the variable being appended to when stmt has the
+// exact shape `x = append(x, …)` (or `x := append(x, …)`), and nil for any
+// other statement.
+func appendTarget(info *types.Info, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if o := info.Defs[lhs]; o != nil {
+		return o
+	}
+	return info.Uses[lhs]
+}
+
+// sortFuncs are the stdlib entry points that establish a deterministic
+// order over a collected slice.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// isSortCall reports whether call invokes one of sortFuncs.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return sortFuncs[obj.Pkg().Name()+"."+obj.Name()]
+}
+
+// markUsedTargets records, into sorted, every target object mentioned
+// anywhere inside arg (covering both `sort.Strings(keys)` and
+// `sort.Slice(keys, func…)` and wrapper types like `sort.Sort(byX(keys))`).
+func markUsedTargets(info *types.Info, arg ast.Expr, targets, sorted map[types.Object]bool) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := info.Uses[id]; o != nil && targets[o] {
+			sorted[o] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checks registers every analysis in the order they run. One check, one
+// file, one invariant — adding a sixth check is a new entry here plus a new
+// file with a checkXxx(*pass) function and a testdata package.
+var checks = []struct {
+	name string
+	run  func(*pass)
+}{
+	{"maporder", checkMapOrder},
+	{"pardiscipline", checkParDiscipline},
+	{"walltime", checkWallTime},
+	{"floateq", checkFloatEq},
+	{"errwrap", checkErrWrap},
+}
+
+// knownCheck reports whether name is a registered check, for validating
+// ignore directives ("ignore" is the validator's own reporting name).
+func knownCheck(name string) bool {
+	for _, c := range checks {
+		if c.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// finding is one violation at one source position.
+type finding struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+// ignoreDirective is one parsed //placelint:ignore comment. A directive
+// suppresses findings of its check on its own line and on the line directly
+// below it (i.e. it may trail the flagged code or lead it as a comment).
+type ignoreDirective struct {
+	check  string
+	reason string
+}
+
+// pass carries one type-checked package through every check and collects
+// findings, consulting the ignore directives before recording each one.
+type pass struct {
+	fset     *token.FileSet
+	files    []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+	findings []finding
+	// ignores maps filename -> line -> directive. Lookups only; never
+	// iterated, so no ordering concerns.
+	ignores map[string]map[int]*ignoreDirective
+}
+
+// ignorePrefix introduces a suppression comment:
+// //placelint:ignore <check> <reason>.
+const ignorePrefix = "//placelint:ignore"
+
+// newPass builds the pass and parses every suppression directive up front,
+// reporting malformed ones (unknown check, missing reason) as violations of
+// the pseudo-check "ignore" — a bare ignore must never silently suppress.
+func newPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *pass {
+	p := &pass{fset: fset, files: files, pkg: pkg, info: info,
+		ignores: map[string]map[int]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					p.findings = append(p.findings, finding{pos, "ignore",
+						"directive names no check: want //placelint:ignore <check> <reason>"})
+				case !knownCheck(fields[0]):
+					p.findings = append(p.findings, finding{pos, "ignore",
+						fmt.Sprintf("directive names unknown check %q", fields[0])})
+				case len(fields) == 1:
+					p.findings = append(p.findings, finding{pos, "ignore",
+						fmt.Sprintf("bare ignore for %q: a reason is mandatory", fields[0])})
+				default:
+					byLine := p.ignores[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]*ignoreDirective{}
+						p.ignores[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = &ignoreDirective{
+						check:  fields[0],
+						reason: strings.Join(fields[1:], " "),
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// run executes the registered checks, or just the named subset when only is
+// non-nil (the testdata harness isolates one check per package).
+func (p *pass) run(only []string) {
+	for _, c := range checks {
+		if only != nil && !contains(only, c.name) {
+			continue
+		}
+		c.run(p)
+	}
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// reportf records a finding of check at pos unless a matching ignore
+// directive covers the line (same line, or the line directly above).
+func (p *pass) reportf(pos token.Pos, check, format string, args ...any) {
+	position := p.fset.Position(pos)
+	if byLine := p.ignores[position.Filename]; byLine != nil {
+		for _, line := range []int{position.Line, position.Line - 1} {
+			if d := byLine[line]; d != nil && d.check == check {
+				return
+			}
+		}
+	}
+	p.findings = append(p.findings, finding{position, check, fmt.Sprintf(format, args...)})
+}
+
+// fileName returns the path of f as recorded in the file set.
+func (p *pass) fileName(f *ast.File) string {
+	return p.fset.Position(f.Pos()).Filename
+}
+
+// parseDirFiles parses the non-test Go files of dir, in sorted file-name
+// order, with comments (the directives live there).
+func parseDirFiles(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in f that contains pos, or nil when pos sits outside any
+// function. Checks use it to scope idiom searches (e.g. "are the collected
+// keys sorted in the same function").
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // prune subtrees that cannot contain pos
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil && pos >= fn.Body.Pos() && pos < fn.Body.End() {
+				best = fn.Body
+			}
+		case *ast.FuncLit:
+			if pos >= fn.Body.Pos() && pos < fn.Body.End() {
+				best = fn.Body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// exprUsesAny reports whether e mentions an identifier whose object is in
+// objs (by Uses or Defs).
+func exprUsesAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := info.Uses[id]; o != nil && objs[o] {
+			found = true
+		}
+		if o := info.Defs[id]; o != nil && objs[o] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tools/lintest"
+)
+
+// TestChecksOnTestdata runs each check against its seeded testdata package
+// and enforces the exact two-way match between `// want` annotations and
+// findings: every seeded violation must be caught, and nothing else may be
+// flagged — the exempt idioms in the same files double as false-positive
+// regression tests.
+func TestChecksOnTestdata(t *testing.T) {
+	cases := []struct {
+		dir  string
+		only []string // nil runs everything, incl. the ignore validator
+	}{
+		{"maporder", []string{"maporder"}},
+		{"pardiscipline", []string{"pardiscipline"}},
+		{"walltime", []string{"walltime"}},
+		{"floateq", []string{"floateq"}},
+		{"errwrap", []string{"errwrap"}},
+		{"ignore", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", tc.dir)
+			fset := token.NewFileSet()
+			imp := importer.ForCompiler(fset, "source", nil)
+			got, err := lintDir(fset, imp, dir, tc.only)
+			if err != nil {
+				t.Fatalf("lintDir(%s): %v", dir, err)
+			}
+			finds := make([]lintest.Finding, 0, len(got))
+			for _, f := range got {
+				finds = append(finds, lintest.Finding{
+					File: filepath.Base(f.pos.Filename),
+					Line: f.pos.Line,
+					Msg:  f.msg,
+				})
+			}
+			lintest.Check(t, lintest.ParseWants(t, dir), finds)
+		})
+	}
+}
+
+// TestTreeIsClean asserts the invariant `make lint` enforces in CI: the
+// repository's own source produces zero findings. Any new violation must be
+// fixed or carry a reasoned //placelint:ignore before it can land.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := filepath.Join("..", "..", "..")
+	dirs, err := collectDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, dir := range dirs {
+		got, err := lintDir(fset, imp, dir, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range got {
+			t.Errorf("%s:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.check, f.msg)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package errwrap seeds the errwrap check: an error argument formatted with
+// %v (or %s) severs the errors.Is chain and is flagged; %w and non-error
+// arguments are exempt, as are multiple %w verbs.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func severed(path string) error {
+	return fmt.Errorf("read %s: %v", path, errSentinel) // want "error argument formatted with %v"
+}
+
+func severedString() error {
+	return fmt.Errorf("stage failed: %s", errSentinel) // want "error argument formatted with %s"
+}
+
+func wrapped(path string) error {
+	return fmt.Errorf("read %s: %w", path, errSentinel) // exempt: %w keeps errors.Is working
+}
+
+func doubleWrapped(inner error) error {
+	return fmt.Errorf("%w: %w", errSentinel, inner) // exempt: multiple %w verbs (go1.20+)
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("bad count %d", n) // exempt: no error argument at all
+}

@@ -1,0 +1,33 @@
+// Package floateq seeds the floateq check: comparing two computed floats
+// with == or != is flagged; constant sentinels, the NaN self-test, approved
+// epsilon helpers, and annotated sites are exempt.
+package floateq
+
+func computedEq(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+func computedNeq(a, b float64) bool {
+	return a+1 != b*2 // want "!= on float operands"
+}
+
+func sentinel(x float64) bool {
+	return x == 0 // exempt: one operand is a compile-time constant
+}
+
+func isNaN(x float64) bool {
+	return x != x // exempt: the NaN self-test idiom
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12 || a == b // exempt: inside an approved epsilon helper
+}
+
+func annotated(a, b float64) bool {
+	//placelint:ignore floateq both values are copies of the same assignment; equality is exact by construction
+	return a == b
+}

@@ -1,0 +1,17 @@
+// Package ignore seeds malformed suppression directives: each must be
+// reported by the "ignore" pseudo-check rather than silently accepted, so a
+// typo in a directive can never suppress a real finding. The want comments
+// carry a -1 line offset because a trailing want on the directive's own line
+// would parse as its reason.
+package ignore
+
+//placelint:ignore
+// want[-1] "directive names no check"
+
+//placelint:ignore nosuchcheck left over from a deleted check
+// want[-1] "directive names unknown check "nosuchcheck""
+
+//placelint:ignore maporder
+// want[-1] "bare ignore for "maporder": a reason is mandatory"
+
+func placeholder() {}

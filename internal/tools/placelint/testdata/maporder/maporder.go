@@ -1,0 +1,53 @@
+// Package maporder seeds the maporder check: a raw map range is flagged,
+// the collect-then-sort idiom (including an if-filtered collect) is exempt,
+// and a reasoned ignore directive suppresses.
+package maporder
+
+import "sort"
+
+func rawRange(m map[string]int) int {
+	worst := 0
+	for _, v := range m { // want "range over map has nondeterministic order"
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // exempt: every key lands in a slice that is sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func filteredCollect(m map[string]int) []string {
+	var keys []string
+	for k, v := range m { // exempt: if-filtered append, still sorted below
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map has nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotated(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//placelint:ignore maporder copying into a map; insertion order cannot be observed
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Package walltime seeds the walltime check: time.Now/Since/Until and a
+// math/rand import are flagged outside the internal/obs and internal/gen
+// allowlist; reading time through a passed-in value is exempt.
+package walltime
+
+import (
+	"math/rand" // want "import of math/rand outside internal/gen"
+	"time"
+)
+
+func timestamp() time.Duration {
+	t0 := time.Now()        // want "time.Now outside internal/obs"
+	return time.Since(t0) + // want "time.Since outside internal/obs"
+		time.Until(t0) // want "time.Until outside internal/obs"
+}
+
+func jitter() float64 {
+	return rand.Float64() // only the import is flagged; one finding per root cause
+}
+
+func span(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // exempt: arithmetic on values handed in, no clock read
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// checkWallTime flags wall-clock reads (time.Now, time.Since, time.Until)
+// and any import of math/rand in solver and pipeline code. Wall time and
+// unseeded randomness are the two classic back doors out of reproducibility:
+// a solver that consults either can produce different placements from the
+// same input.
+//
+// The allowlist is structural, not per-site: internal/obs owns the clock
+// (timing belongs in telemetry, and the Stopwatch type is the sanctioned way
+// for solver code to measure a duration for reports), internal/gen owns
+// seeded randomness (benchmark synthesis is deterministic by construction),
+// and _test.go files are never linted. Everything else must route timing
+// through internal/obs or carry a //placelint:ignore walltime <reason>.
+func checkWallTime(p *pass) {
+	for _, f := range p.files {
+		name := filepath.ToSlash(p.fileName(f))
+		if strings.Contains(name, "internal/obs/") || strings.Contains(name, "internal/gen/") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.reportf(imp.Pos(), "walltime",
+					"import of %s outside internal/gen: randomness in solver code breaks run-to-run reproducibility", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+			default:
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := p.info.Uses[x].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			p.reportf(sel.Pos(), "walltime",
+				"time.%s outside internal/obs: route timing through the obs clock (obs.StartStopwatch) or annotate with a reason", sel.Sel.Name)
+			return true
+		})
+	}
+}
