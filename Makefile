@@ -9,7 +9,8 @@ COVER_FLOOR ?= 78
 BENCH_DIR ?= /tmp/dpplace-bench
 
 .PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
-	bench-workers bench-smoke bench-diff docs-lint lint lint-selftest
+	bench-workers bench-smoke bench-diff docs-lint lint lint-selftest \
+	serve-smoke
 
 all: check
 
@@ -128,3 +129,13 @@ fuzz-smoke:
 	$(GO) test ./internal/bookshelf -run '^$$' -fuzz '^FuzzReadAux$$' -fuzztime=10s
 	$(GO) test ./internal/bookshelf -run '^$$' -fuzz '^FuzzReadNodes$$' -fuzztime=10s
 	$(GO) test ./internal/bookshelf -run '^$$' -fuzz '^FuzzReadNets$$' -fuzztime=10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeSpec$$' -fuzztime=10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzBuildDesignAux$$' -fuzztime=10s
+
+# Daemon smoke: build dpplaced, boot it on an ephemeral port, place an
+# example generated netlist end to end over HTTP, validate the run-report
+# and placement artifacts, then SIGTERM and assert a clean drain.
+serve-smoke:
+	@mkdir -p /tmp/dpplaced-smoke
+	$(GO) build -o /tmp/dpplaced-smoke/dpplaced ./cmd/dpplaced
+	$(GO) run ./internal/tools/servesmoke -bin /tmp/dpplaced-smoke/dpplaced

@@ -40,6 +40,13 @@
 //	   exists, is still written to -out
 //	4  malformed input file
 //	5  degenerate datapath groups under -on-degrade fail
+//	6  interrupted (SIGINT/SIGTERM); the best-iterate partial placement and
+//	   the run report are still written, same as a deadline stop
+//
+// A single SIGINT or SIGTERM stops the run cooperatively at the next solver
+// checkpoint — the run keeps its best iterate, writes every requested
+// artifact that is safe to write, and exits 6. A second signal kills the
+// process immediately.
 package main
 
 import (
@@ -51,8 +58,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/bookshelf"
@@ -67,12 +76,13 @@ import (
 
 // Exit codes.
 const (
-	exitOK         = 0
-	exitError      = 1
-	exitUsage      = 2
-	exitTimeout    = 3
-	exitMalformed  = 4
-	exitDegenerate = 5
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitTimeout     = 3
+	exitMalformed   = 4
+	exitDegenerate  = 5
+	exitInterrupted = 6
 )
 
 // classify maps a pipeline error to its exit code.
@@ -322,9 +332,23 @@ func run() int {
 		return fatal(exitUsage, "unknown -on-degrade policy %q", *onDegrade)
 	}
 
-	ctx := obs.NewContext(context.Background(), rec)
+	// SIGINT/SIGTERM cancel the run cooperatively: the pipeline stops at its
+	// next checkpoint and returns the best iterate with Partial set, exactly
+	// like a -timeout stop. NotifyContext unregisters on the first signal,
+	// so a second one falls back to default handling and kills the process.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	ctx := obs.NewContext(sigCtx, rec)
 	res, err := core.PlaceCtx(ctx, d.Netlist, d.Core, d.Placement, opt)
+	interrupted := sigCtx.Err() != nil && err != nil && errors.Is(err, core.ErrTimeout)
+	if interrupted {
+		rec.Logf(obs.Warn, "dpplace", "interrupted by signal; keeping the best iterate")
+	}
 	if err != nil && res == nil {
+		if interrupted {
+			return fatal(exitInterrupted, "%v", err)
+		}
 		return fatal(classify(err), "%v", err)
 	}
 
@@ -340,7 +364,11 @@ func run() int {
 	}
 
 	if *reportPath != "" {
-		if werr := writeReport(*reportPath, d.Netlist.Name, opt.Mode, res, rep, err, rec); werr != nil {
+		exitLabel := exitName(err)
+		if interrupted {
+			exitLabel = "interrupted"
+		}
+		if werr := writeReport(*reportPath, d.Netlist.Name, opt.Mode, res, rep, exitLabel, rec); werr != nil {
 			return fatal(exitError, "%v", werr)
 		}
 		rec.Logf(obs.Info, "dpplace", "run report: %s", *reportPath)
@@ -388,6 +416,9 @@ func run() int {
 		}
 	}
 	if err != nil {
+		if interrupted {
+			return fatal(exitInterrupted, "%v", err)
+		}
 		return fatal(classify(err), "%v", err)
 	}
 	return exitOK
@@ -436,7 +467,9 @@ func printSummary(w *os.File, mode core.Mode, res *core.Result, rep *metrics.Rep
 }
 
 // writeReport assembles and writes the machine-readable run report.
-func writeReport(path, design string, mode core.Mode, res *core.Result, rep *metrics.Report, runErr error, rec *obs.Recorder) error {
+// exitLabel is the machine-readable exit classification ("interrupted" for
+// signal stops, exitName(err) otherwise).
+func writeReport(path, design string, mode core.Mode, res *core.Result, rep *metrics.Report, exitLabel string, rec *obs.Recorder) error {
 	counters := rec.Counters()
 	if n := faultinject.FiredTotal(); n > 0 {
 		counters["fault_injections"] = int64(n)
@@ -444,7 +477,7 @@ func writeReport(path, design string, mode core.Mode, res *core.Result, rep *met
 	out := &obs.RunReport{
 		Design:  design,
 		Mode:    mode.String(),
-		Exit:    exitName(runErr),
+		Exit:    exitLabel,
 		Partial: res.Partial,
 		Workers: res.GlobalResult.Workers,
 		HPWL: obs.HPWLSummary{

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+)
+
+var placeBuildOnce sync.Once
+var placeBin string
+var placeBuildErr error
+
+func placeBinary(t *testing.T) string {
+	t.Helper()
+	placeBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dpplace-bin")
+		if err != nil {
+			placeBuildErr = err
+			return
+		}
+		placeBin = filepath.Join(dir, "dpplace")
+		out, err := exec.Command("go", "build", "-o", placeBin, ".").CombinedOutput()
+		if err != nil {
+			placeBuildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if placeBuildErr != nil {
+		t.Fatal(placeBuildErr)
+	}
+	return placeBin
+}
+
+// TestInterruptExitsSixWithPartialReport SIGINTs a grinding run and asserts
+// the interrupted-partial contract: exit code 6 and a run report classifying
+// the stop as "interrupted" rather than a timeout or an error.
+func TestInterruptExitsSixWithPartialReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	b := gen.Generate(gen.Config{
+		Name: "grinder", Seed: 7, Bits: 8,
+		Units:       []gen.UnitKind{gen.Adder, gen.MuxTree},
+		RandomCells: 2500, Pads: 16,
+	})
+	aux, err := bookshelf.WriteAux(dir, "grinder",
+		&bookshelf.Design{Netlist: b.Netlist, Placement: b.Placement, Core: b.Core})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report := filepath.Join(dir, "rep.json")
+	cmd := exec.Command(placeBinary(t),
+		"-outer", "2000", "-inner", "200", "-quiet",
+		"-report", report, "-out", filepath.Join(dir, "out.pl"), aux)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the run time to get into the solver, then interrupt it.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != exitInterrupted {
+		t.Fatalf("interrupted run: %v, want exit %d", err, exitInterrupted)
+	}
+
+	repB, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("interrupted run wrote no report: %v", err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Exit    string `json:"exit"`
+		Partial bool   `json:"partial"`
+	}
+	if err := json.Unmarshal(repB, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "dpplace-run-report/v1" {
+		t.Errorf("report schema = %q", rep.Schema)
+	}
+	if rep.Exit != "interrupted" {
+		t.Errorf("report exit = %q, want interrupted", rep.Exit)
+	}
+	if !rep.Partial {
+		t.Error("report does not mark the result partial")
+	}
+}

@@ -34,6 +34,12 @@ const (
 	// SiteBookshelfTruncate truncates a Bookshelf input stream mid-record
 	// (used with TruncatedReader).
 	SiteBookshelfTruncate = "bookshelf/truncate"
+	// SiteServeCrashBeforeCommit makes the dpplaced job runner abandon a
+	// finished attempt after the solve but before its terminal journal
+	// record — the narrowest window a real SIGKILL can hit. Crash-safety
+	// tests arm it to prove journal replay requeues the job and that
+	// re-execution reproduces the identical placement.
+	SiteServeCrashBeforeCommit = "serve/crash-before-commit"
 )
 
 // Spec arms one site. A hit is a call to Hit(site); the spec skips the first

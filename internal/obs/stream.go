@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"time"
+)
+
+// UnixMilli is the sanctioned wall-clock timestamp for service-layer records
+// (journal entries, heartbeats). Like the Stopwatch, it lives here because
+// internal/obs owns the clock: solver code has no business reading wall time,
+// but a daemon journaling "when did this job start" does, and routing that
+// read through obs keeps placelint's walltime check meaningful everywhere
+// else.
+func UnixMilli() int64 {
+	return time.Now().UnixMilli()
+}
+
+// LineBroadcaster is an io.Writer that splits its input into lines and fans
+// each complete line out to every subscriber. It is the bridge between a
+// per-job Recorder's JSONL trace and any number of live SSE watchers: the
+// recorder writes lines, each subscriber reads them from its own buffered
+// channel.
+//
+// Delivery is best-effort per subscriber: a subscriber whose buffer is full
+// drops the oldest pending line rather than blocking the writer — telemetry
+// must never be able to stall a solver. Subscribers learn the stream ended
+// when their channel closes.
+type LineBroadcaster struct {
+	mu      sync.Mutex
+	partial bytes.Buffer
+	subs    map[int]chan string
+	nextID  int
+	closed  bool
+}
+
+// NewLineBroadcaster returns an empty broadcaster with no subscribers.
+func NewLineBroadcaster() *LineBroadcaster {
+	return &LineBroadcaster{subs: make(map[int]chan string)}
+}
+
+// Subscribe registers a new subscriber with the given channel capacity
+// (minimum 1) and returns its line channel plus a cancel function. Cancel is
+// idempotent and closes the channel; the broadcaster closing also closes it.
+func (b *LineBroadcaster) Subscribe(capacity int) (<-chan string, func()) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ch := make(chan string, capacity)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[id]; ok {
+				delete(b.subs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Write splits p into newline-terminated lines, buffering any trailing
+// partial line until its newline arrives, and broadcasts each complete line
+// (without the newline) to all subscribers. Always returns len(p), nil: a
+// broadcaster has no failure mode a writer could act on.
+func (b *LineBroadcaster) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return len(p), nil
+	}
+	b.partial.Write(p)
+	for {
+		data := b.partial.Bytes()
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break
+		}
+		line := string(data[:i])
+		b.partial.Next(i + 1)
+		//placelint:ignore maporder every subscriber gets every line; cross-subscriber delivery order is unobservable
+		for _, ch := range b.subs {
+			select {
+			case ch <- line:
+			default:
+				// Buffer full: drop the oldest pending line so the newest
+				// telemetry wins, then deliver. Both channel ops are
+				// nonblocking — a concurrent reader may have drained or
+				// filled the buffer between them.
+				select {
+				case <-ch:
+				default:
+				}
+				select {
+				case ch <- line:
+				default:
+				}
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// Close ends the stream: every subscriber channel is closed after the lines
+// already delivered, and later writes are discarded. Close is idempotent.
+func (b *LineBroadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	//placelint:ignore maporder closing every subscriber channel; order cannot be observed
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+	return nil
+}

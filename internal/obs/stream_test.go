@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLineBroadcasterDeliversCompleteLines(t *testing.T) {
+	b := NewLineBroadcaster()
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+
+	// Lines split across writes are reassembled; only complete lines land.
+	fmt.Fprintf(b, "alpha\nbe")
+	fmt.Fprintf(b, "ta\n")
+	b.Close()
+
+	var got []string
+	for line := range ch {
+		got = append(got, line)
+	}
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("got %q, want [alpha beta]", got)
+	}
+}
+
+func TestLineBroadcasterDropsOldestWhenSlow(t *testing.T) {
+	b := NewLineBroadcaster()
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(b, "line%d\n", i)
+	}
+	b.Close()
+	var got []string
+	for line := range ch {
+		got = append(got, line)
+	}
+	if len(got) != 2 {
+		t.Fatalf("slow subscriber holds %d lines, want its buffer size 2", len(got))
+	}
+	// The newest telemetry wins; the tail of the stream survives the drops.
+	if got[len(got)-1] != "line9" {
+		t.Fatalf("last delivered line = %q, want line9", got[len(got)-1])
+	}
+}
+
+func TestLineBroadcasterSubscribeAfterClose(t *testing.T) {
+	b := NewLineBroadcaster()
+	b.Close()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Fatal("subscription to a closed broadcaster should be closed immediately")
+	}
+}
+
+func TestLineBroadcasterCancelIsIdempotent(t *testing.T) {
+	b := NewLineBroadcaster()
+	_, cancel := b.Subscribe(1)
+	cancel()
+	cancel()
+	b.Close()
+}
+
+// TestLineBroadcasterConcurrent exercises writes, subscriptions and
+// cancellations racing each other; run with -race.
+func TestLineBroadcasterConcurrent(t *testing.T) {
+	b := NewLineBroadcaster()
+	var readers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			ch, cancel := b.Subscribe(4)
+			defer cancel()
+			// Drain until the broadcaster closes; the drop-oldest policy
+			// guarantees writers never block on us.
+			for range ch {
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(b, "w%d-%d\n", w, i)
+			}
+		}(w)
+	}
+	writers.Wait()
+	b.Close()
+	readers.Wait()
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetGrantsAndReleases(t *testing.T) {
+	b := NewBudget(4)
+	if b.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", b.Total())
+	}
+	n, err := b.Acquire(context.Background(), 3)
+	if err != nil || n != 3 {
+		t.Fatalf("Acquire(3) = %d, %v", n, err)
+	}
+	// Only one worker is free; an over-ask is trimmed, not blocked.
+	n2, err := b.Acquire(context.Background(), 8)
+	if err != nil || n2 != 1 {
+		t.Fatalf("Acquire(8) with 1 free = %d, %v, want 1", n2, err)
+	}
+	if got := b.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	b.Release(3)
+	b.Release(1)
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+	if hw := b.HighWater(); hw != 4 {
+		t.Fatalf("HighWater = %d, want 4", hw)
+	}
+}
+
+func TestBudgetWantZeroMeansWholeBudget(t *testing.T) {
+	b := NewBudget(3)
+	n, err := b.Acquire(context.Background(), 0)
+	if err != nil || n != 3 {
+		t.Fatalf("Acquire(0) = %d, %v, want 3", n, err)
+	}
+	b.Release(n)
+}
+
+func TestBudgetBlocksUntilRelease(t *testing.T) {
+	b := NewBudget(1)
+	n, err := b.Acquire(context.Background(), 1)
+	if err != nil || n != 1 {
+		t.Fatalf("Acquire = %d, %v", n, err)
+	}
+	got := make(chan int)
+	go func() {
+		m, err := b.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("blocked Acquire: %v", err)
+		}
+		got <- m
+	}()
+	select {
+	case m := <-got:
+		t.Fatalf("Acquire returned %d before Release", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(1)
+	select {
+	case m := <-got:
+		if m != 1 {
+			t.Fatalf("unblocked Acquire = %d, want 1", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire still blocked after Release")
+	}
+	b.Release(1)
+}
+
+func TestBudgetAcquireHonorsContext(t *testing.T) {
+	b := NewBudget(1)
+	if _, err := b.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := b.Acquire(ctx, 1); err == nil {
+		t.Fatalf("Acquire on canceled ctx granted %d, want error", n)
+	}
+	b.Release(1)
+}
+
+func TestBudgetReleaseTooMuchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of unacquired workers did not panic")
+		}
+	}()
+	NewBudget(2).Release(1)
+}
+
+// TestBudgetNeverExceedsTotalUnderContention hammers a small budget from
+// many goroutines and asserts the high-water mark stays within the total —
+// the invariant the daemon's scheduler relies on. Run with -race.
+func TestBudgetNeverExceedsTotalUnderContention(t *testing.T) {
+	for _, total := range []int{1, 2, 4} {
+		b := NewBudget(total)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(want int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					n, err := b.Acquire(context.Background(), want)
+					if err != nil {
+						t.Errorf("Acquire: %v", err)
+						return
+					}
+					if n < 1 || n > total {
+						t.Errorf("grant %d outside [1,%d]", n, total)
+					}
+					b.Release(n)
+				}
+			}(1 + g%4)
+		}
+		wg.Wait()
+		if hw := b.HighWater(); hw > total {
+			t.Errorf("total=%d: high water %d exceeds budget", total, hw)
+		}
+		if used := b.InUse(); used != 0 {
+			t.Errorf("total=%d: %d workers leaked", total, used)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package pipeline
+
+import "errors"
+
+// Class names of the error taxonomy, shared by dpplace's run report, the
+// daemon's job records and the journal. Classify maps any pipeline error to
+// exactly one of them.
+const (
+	ClassOK         = "ok"
+	ClassTimeout    = "timeout"
+	ClassDiverged   = "diverged"
+	ClassDegenerate = "degenerate-groups"
+	ClassMalformed  = "malformed-input"
+	ClassError      = "error"
+)
+
+// Classify maps err to its taxonomy class string. A nil error is ClassOK;
+// an error outside the sentinel taxonomy is ClassError. The order mirrors
+// the sentinels' severity: a chain wrapping several sentinels (rare, but
+// "timeout while recovering from divergence" happens) reports the first
+// match in this order.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, ErrTimeout):
+		return ClassTimeout
+	case errors.Is(err, ErrDiverged):
+		return ClassDiverged
+	case errors.Is(err, ErrDegenerateGroups):
+		return ClassDegenerate
+	case errors.Is(err, ErrMalformedInput):
+		return ClassMalformed
+	default:
+		return ClassError
+	}
+}
+
+// Retryable reports whether a failed placement is worth re-running with
+// damped options. The judgment is per sentinel:
+//
+//   - ErrDiverged: yes. The health guard exhausted its recovery budget, but
+//     a rerun with a gentler schedule (fewer inner iterations, fallback
+//     degradation policy) regularly converges — that is exactly what the
+//     in-solve rollback/re-anneal machinery does at a smaller scale.
+//   - ErrDegenerateGroups: yes. It only escapes under DegradeFail; a retry
+//     under DegradeFallback places the offending groups as plain cells.
+//   - ErrTimeout: no. The run consumed its whole budget; an identical rerun
+//     consumes another budget to reach the same deadline.
+//   - ErrMalformedInput: no. The input does not improve by being re-read.
+//   - anything else: no — unknown failures are not assumed transient.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrMalformedInput) {
+		return false
+	}
+	return errors.Is(err, ErrDiverged) || errors.Is(err, ErrDegenerateGroups)
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ClassOK},
+		{ErrTimeout, ClassTimeout},
+		{ErrDiverged, ClassDiverged},
+		{ErrDegenerateGroups, ClassDegenerate},
+		{ErrMalformedInput, ClassMalformed},
+		{errors.New("disk on fire"), ClassError},
+		{StageError("global", ErrTimeout), ClassTimeout},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrDiverged)), ClassDiverged},
+		// Timeout outranks divergence when both are in the chain.
+		{fmt.Errorf("%w during recovery from %w", ErrTimeout, ErrDiverged), ClassTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrTimeout, false},
+		{ErrMalformedInput, false},
+		{ErrDiverged, true},
+		{ErrDegenerateGroups, true},
+		{errors.New("unknown"), false},
+		{StageError("global", ErrDiverged), true},
+		// A divergence that also hit the deadline must not retry: the budget
+		// is spent.
+		{fmt.Errorf("%w during recovery from %w", ErrTimeout, ErrDiverged), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bookshelf"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// writeSpecFile persists the submitted spec beside the job's artifacts, so a
+// result directory is self-describing without the journal.
+func writeSpecFile(path string, spec *JobSpec) error {
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal spec: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("serve: write spec: %w", err)
+	}
+	return nil
+}
+
+// writeJobReport assembles the dpplace-run-report/v1 document for one job
+// attempt — the same schema dpplace -report writes, so downstream tooling
+// (benchsum, the smoke driver) reads daemon results unchanged.
+func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep *metrics.Report, runErr error, rec *obs.Recorder) error {
+	out := &obs.RunReport{
+		Design:  design,
+		Mode:    mode.String(),
+		Exit:    pipeline.Classify(runErr),
+		Partial: res.Partial,
+		Workers: res.GlobalResult.Workers,
+		HPWL: obs.HPWLSummary{
+			Global: res.HPWLGlobal,
+			Legal:  res.HPWLLegal,
+			Final:  res.HPWLFinal,
+		},
+		StageSeconds: map[string]float64{
+			"extract":  res.Times.Extract.Seconds(),
+			"global":   res.Times.Global.Seconds(),
+			"legalize": res.Times.Legalize.Seconds(),
+			"detail":   res.Times.Detail.Seconds(),
+		},
+		Counters:   rec.Counters(),
+		Trajectory: rec.Trajectory(),
+	}
+	if res.Multilevel != nil {
+		out.Levels = res.Multilevel.Levels
+		out.ClusterRatio = res.Multilevel.ClusterRatio
+	}
+	for _, deg := range res.Degradations {
+		out.Degradations = append(out.Degradations, obs.DegradeEntry{
+			Stage: deg.Stage, Group: deg.Group, Reason: deg.Reason,
+		})
+	}
+	if mrep != nil {
+		out.Metrics = mrep
+	}
+	if err := obs.WriteReportFile(path, out); err != nil {
+		return fmt.Errorf("serve: job report: %w", err)
+	}
+	return nil
+}
+
+// writePlacementFile writes the legal placement in Bookshelf .pl format.
+func writePlacementFile(path string, d *bookshelf.Design, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serve: placement file: %w", err)
+	}
+	if err := bookshelf.WritePl(f, d.Netlist, res.Placement); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: write placement: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: close placement: %w", err)
+	}
+	return nil
+}

@@ -118,8 +118,15 @@ func main() {
 const slowdownBudget = 0.10
 
 // diffReports compares two dpplace-run-report/v1 files stage by stage and
-// reports whether the new run is within the slowdown budget.
+// reports whether the new run is within the slowdown budget. A missing
+// baseline file is not a failure — there is nothing to regress against —
+// but it is said out loud instead of erroring opaquely.
 func diffReports(oldPath, newPath string) (ok bool, err error) {
+	if _, statErr := os.Stat(oldPath); os.IsNotExist(statErr) {
+		fmt.Printf("no baseline: %s does not exist — skipping the bench diff.\n"+
+			"Record one with `make bench` on the reference revision and commit it.\n", oldPath)
+		return true, nil
+	}
 	oldRep, err := loadRaw(oldPath)
 	if err != nil {
 		return false, err

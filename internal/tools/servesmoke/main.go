@@ -1,0 +1,205 @@
+// Command servesmoke is the CI smoke driver for dpplaced: it boots the
+// daemon on an ephemeral port, submits an example generated netlist, polls
+// the job to completion, validates the dpplace-run-report/v1 artifact and
+// the placement, sends SIGTERM, and asserts a clean drain (exit 0). Any
+// deviation exits nonzero with a description, so the Makefile target
+// (`make serve-smoke`) is a single command in CI.
+//
+// Usage:
+//
+//	servesmoke -bin path/to/dpplaced [-timeout 120s]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the dpplaced binary (required)")
+	timeout := flag.Duration("timeout", 120*time.Second, "overall smoke budget")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke -bin path/to/dpplaced")
+		os.Exit(2)
+	}
+	if err := smoke(*bin, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+// smoke runs the whole scenario; any error fails the smoke.
+func smoke(bin string, budget time.Duration) error {
+	data, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(data)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", data, "-workers", "2")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start daemon: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// The overall budget is enforced with a deadline timer rather than
+	// wall-clock reads.
+	expired := time.NewTimer(budget)
+	defer expired.Stop()
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	wait := func(what string, poll func() (bool, error)) error {
+		for {
+			ok, err := poll()
+			if err != nil {
+				return fmt.Errorf("%s: %w", what, err)
+			}
+			if ok {
+				return nil
+			}
+			select {
+			case err := <-done:
+				return fmt.Errorf("%s: daemon exited early: %w", what, err)
+			case <-expired.C:
+				return fmt.Errorf("%s: smoke budget exhausted", what)
+			case <-tick.C:
+			}
+		}
+	}
+
+	// 1. The daemon publishes its resolved address.
+	var addr string
+	if err := wait("daemon startup", func() (bool, error) {
+		b, err := os.ReadFile(filepath.Join(data, "dpplaced.addr"))
+		if err != nil || len(strings.TrimSpace(string(b))) == 0 {
+			return false, nil
+		}
+		addr = strings.TrimSpace(string(b))
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// 2. Submit an example generated netlist.
+	spec := `{"name":"smoke","priority":1,
+		"gen":{"seed":7,"bits":8,"units":["adder","regbank"],"random_cells":300,"pads":12},
+		"options":{"outer":8,"inner":20}}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("submit: decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		return fmt.Errorf("submit: status %d (%s)", resp.StatusCode, view.Error)
+	}
+	fmt.Printf("serve-smoke: submitted %s to %s\n", view.ID, base)
+
+	// 3. Poll the job to completion.
+	var last struct {
+		State string  `json:"state"`
+		Exit  string  `json:"exit"`
+		Error string  `json:"error"`
+		HPWL  float64 `json:"hpwl"`
+	}
+	if err := wait("job completion", func() (bool, error) {
+		resp, err := http.Get(base + "/jobs/" + view.ID)
+		if err != nil {
+			return false, nil
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
+			return false, nil
+		}
+		switch last.State {
+		case "done":
+			return true, nil
+		case "failed", "canceled":
+			return false, fmt.Errorf("job %s %s: %s", view.ID, last.State, last.Error)
+		}
+		return false, nil
+	}); err != nil {
+		return err
+	}
+	if last.Exit != "ok" || last.HPWL <= 0 {
+		return fmt.Errorf("job finished exit=%q hpwl=%v, want ok with positive HPWL", last.Exit, last.HPWL)
+	}
+	fmt.Printf("serve-smoke: %s done, HPWL %.0f\n", view.ID, last.HPWL)
+
+	// 4. Validate the run-report artifact.
+	resp, err = http.Get(base + "/jobs/" + view.ID + "/report")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	var report struct {
+		Schema string `json:"schema"`
+		Exit   string `json:"exit"`
+		HPWL   struct {
+			Final float64 `json:"final"`
+		} `json:"hpwl"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&report)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("report: decode: %w", err)
+	}
+	if report.Schema != "dpplace-run-report/v1" {
+		return fmt.Errorf("report schema = %q, want dpplace-run-report/v1", report.Schema)
+	}
+	if report.Exit != "ok" || report.HPWL.Final <= 0 {
+		return fmt.Errorf("report exit=%q final=%v, want ok with positive final HPWL", report.Exit, report.HPWL.Final)
+	}
+
+	// 5. The placement artifact is a Bookshelf .pl.
+	resp, err = http.Get(base + "/jobs/" + view.ID + "/placement")
+	if err != nil {
+		return fmt.Errorf("placement: %w", err)
+	}
+	plBytes := make([]byte, 64)
+	n, _ := resp.Body.Read(plBytes)
+	resp.Body.Close()
+	if !strings.Contains(string(plBytes[:n]), "UCLA pl") {
+		return fmt.Errorf("placement artifact does not look like a .pl: %q", plBytes[:n])
+	}
+
+	// 6. SIGTERM: the drain must be clean (exit 0).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				return fmt.Errorf("drain exit code %d, want 0", ee.ExitCode())
+			}
+			return fmt.Errorf("drain: %w", err)
+		}
+	case <-expired.C:
+		return fmt.Errorf("drain: daemon still running at the smoke budget")
+	}
+	fmt.Println("serve-smoke: clean drain")
+	return nil
+}
