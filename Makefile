@@ -10,11 +10,11 @@ BENCH_DIR ?= /tmp/dpplace-bench
 
 .PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
 	bench-workers bench-smoke bench-diff docs-lint lint lint-selftest \
-	serve-smoke
+	metrics-lint serve-smoke
 
 all: check
 
-check: fmt-check vet build docs-lint lint race fuzz-smoke
+check: fmt-check vet build docs-lint lint metrics-lint race fuzz-smoke
 
 # Documentation bar: every package carries a package-level doc comment and
 # every exported identifier is documented (internal/tools/docslint — no
@@ -28,6 +28,13 @@ docs-lint:
 # must be clean; safe exceptions carry //placelint:ignore <check> <reason>.
 lint:
 	$(GO) run ./internal/tools/placelint
+
+# Metrics schema bar: the placelint metricnames check alone, run over the
+# packages that register metrics. Fails on duplicate metric registration,
+# non-snake_case names or labels, and names built at runtime. (Already part
+# of `make lint`; this target isolates the failure for CI log clarity.)
+metrics-lint:
+	$(GO) run ./internal/tools/placelint -only metricnames ./internal/serve ./internal/obs/metrics ./cmd/dpplaced
 
 # Self-test: placelint must still *catch* each violation class. Every seeded
 # testdata package has to make it exit nonzero — a linter that passes its own
@@ -132,9 +139,14 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeSpec$$' -fuzztime=10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzBuildDesignAux$$' -fuzztime=10s
 
-# Daemon smoke: build dpplaced, boot it on an ephemeral port, place an
-# example generated netlist end to end over HTTP, validate the run-report
-# and placement artifacts, then SIGTERM and assert a clean drain.
+# Daemon smoke: build dpplaced and run it through two scripted lifetimes.
+# Phase 1 places an example netlist end to end over HTTP, validates the
+# run-report (metrics_snapshot included) and placement artifacts, scrapes
+# /metrics for the core series (two idle scrapes must be byte-identical),
+# then SIGTERMs and asserts a clean drain. Phase 2 reboots on the same data
+# dir with a short -drain-timeout, SIGTERMs mid-job, and asserts /readyz
+# flips to 503 before the job finishes, /metrics serves through the drain,
+# and the forced drain exits 3.
 serve-smoke:
 	@mkdir -p /tmp/dpplaced-smoke
 	$(GO) build -o /tmp/dpplaced-smoke/dpplaced ./cmd/dpplaced

@@ -10,11 +10,19 @@
 //
 //	dpplaced [flags]
 //
+// Observability surface: GET /metrics serves fleet metrics in Prometheus
+// text format (jobs by state, queue depth, latency histograms, journal fsync
+// cost, worker-budget occupancy, solver health events); GET /healthz is the
+// liveness probe (200 while the process serves); GET /readyz is the
+// readiness probe, flipping to 503 the instant a drain begins so load
+// balancers shift traffic before in-flight jobs finish.
+//
 // SIGINT or SIGTERM starts a graceful drain: admission stops (503), running
 // jobs finish, the journal is flushed, and the daemon exits 0. A second
 // signal — or the -drain-timeout deadline — forces running jobs to
 // checkpoint their best iterate and exits 3; the next daemon instance picks
-// them back up from the journal.
+// them back up from the journal. The HTTP surface (probes and /metrics
+// included) stays up until the drain settles.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	obsmetrics "repro/internal/obs/metrics"
 	"repro/internal/serve"
 )
 
@@ -111,6 +120,7 @@ func run() int {
 		MaxRetries:     *f.retries,
 		Heartbeat:      *f.heartbeat,
 		Log:            rec,
+		Metrics:        obsmetrics.NewRegistry(),
 	})
 	if err != nil {
 		return fatal("%v", err)

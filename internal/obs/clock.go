@@ -21,6 +21,13 @@ func StartStopwatch() Stopwatch {
 	return Stopwatch{t0: time.Now()}
 }
 
+// Started reports whether the stopwatch was actually started (false for the
+// zero value), so callers can skip recording durations that would read as a
+// meaningless zero.
+func (s Stopwatch) Started() bool {
+	return !s.t0.IsZero()
+}
+
 // Elapsed returns the wall time since the stopwatch started (zero for the
 // zero value).
 func (s Stopwatch) Elapsed() time.Duration {

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every family in Prometheus text exposition format
+// (version 0.0.4): families in sorted name order, children in sorted
+// label-value order, histogram buckets cumulative with an implicit +Inf.
+// HELP and TYPE lines are emitted even for families with no samples yet, so
+// the series namespace a daemon exports is visible from its first scrape.
+// Two scrapes of an idle registry produce byte-identical output. Nil-safe:
+// a nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := r.families
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeFamily(w, fams[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFamily writes one family's HELP/TYPE header and samples.
+func writeFamily(w io.Writer, f *family) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	switch {
+	case f.counter != nil:
+		return writeSample(w, f.name, "", "", f.counter.Value())
+	case f.gauge != nil:
+		return writeSample(w, f.name, "", "", f.gauge.Value())
+	case f.hist != nil:
+		return writeHistogram(w, f.name, "", "", f.hist)
+	case f.cvec != nil:
+		for _, val := range f.cvec.sortedValues() {
+			if err := writeSample(w, f.name, f.label, val, f.cvec.child(val).Value()); err != nil {
+				return err
+			}
+		}
+	case f.hvec != nil:
+		for _, val := range f.hvec.sortedValues() {
+			if err := writeHistogram(w, f.name, f.label, val, f.hvec.child(val)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample writes one integer-valued sample line, labeled when label is
+// non-empty.
+func writeSample(w io.Writer, name, label, value string, v int64) error {
+	if label == "" {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, value, v)
+	return err
+}
+
+// writeHistogram writes the cumulative _bucket series plus _sum and _count.
+// label/value tag every line when label is non-empty.
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) error {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		var err error
+		if label == "" {
+			_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			_, err = fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, label, value, le, cum)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, value)
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+	return err
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// what Prometheus clients emit for bucket bounds and sums.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns the GET /metrics endpoint: the text exposition with the
+// Prometheus content type. Nil-safe: a nil registry serves an empty body.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Snapshot returns the current value of every counter and gauge sample —
+// labeled children keyed "name{label=\"value\"}" — for embedding in run
+// reports. Histograms are excluded: their state is the full bucket vector,
+// which belongs to /metrics, not a point-in-time summary. Nil-safe: a nil
+// registry returns nil.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	//placelint:ignore maporder values land in a map keyed by sample name; order cannot be observed
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, f := range fams {
+		switch {
+		case f.counter != nil:
+			out[f.name] = float64(f.counter.Value())
+		case f.gauge != nil:
+			out[f.name] = float64(f.gauge.Value())
+		case f.cvec != nil:
+			for _, val := range f.cvec.sortedValues() {
+				key := fmt.Sprintf("%s{%s=%q}", f.name, f.label, val)
+				out[key] = float64(f.cvec.child(val).Value())
+			}
+		}
+	}
+	return out
+}

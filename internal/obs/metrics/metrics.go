@@ -1,0 +1,389 @@
+// Package metrics is a deterministic, stdlib-only metrics registry for the
+// placement service: counters, gauges and fixed-bucket histograms with
+// Prometheus text-format exposition. It is the aggregated, scrapeable
+// complement to the obs flight recorder — the Recorder tells the story of
+// one run, the registry accumulates fleet state across every job a daemon
+// serves.
+//
+// The package follows the obs Recorder's cost discipline:
+//
+//   - The hot path is lock-free. Counter.Add, Gauge.Set and
+//     Histogram.Observe are a handful of atomic operations; registration
+//     (which takes a lock) happens once at startup, never per event.
+//   - Everything is nil-safe. A nil *Registry hands out nil instruments and
+//     a nil instrument's methods are a pointer check and a return — no
+//     locks, no allocations — so instrumented code never needs a nil check
+//     and a binary that doesn't serve /metrics pays ~nothing.
+//   - Exposition is reproducible. Families export in sorted name order and
+//     labeled children in sorted label-value order, so two scrapes of an
+//     idle registry are byte-identical. No timestamps, no wall-clock reads:
+//     time only enters as durations the caller measured via obs.Stopwatch.
+//
+// Metric names must be snake_case ([a-z][a-z0-9_]*); this repository
+// additionally prefixes daemon-level series dpplaced_* and pipeline-level
+// series dpplace_*. Registration panics on an invalid name, a duplicate
+// name, or mismatched buckets — misregistration is a programmer error the
+// placelint metricnames check also rejects statically.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the snake_case shape every metric and label name must match.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// kind discriminates the exposition type of a family.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+// String names the kind in Prometheus TYPE lines.
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds one process's metric families. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid, permanently
+// disabled registry: every constructor returns a nil instrument whose
+// methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one registered metric name: its metadata plus either a single
+// unlabeled instrument or a vec of labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	label   string    // label name; "" for unlabeled families
+	buckets []float64 // histogram upper bounds (without +Inf)
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cvec    *CounterVec
+	hvec    *HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and claims a family name, panicking on misuse: an
+// invalid name or label, a duplicate registration, or bad buckets. These are
+// wiring bugs, not runtime conditions, so failing loudly at startup beats
+// exporting a corrupt namespace.
+func (r *Registry) register(f *family) {
+	if !nameRE.MatchString(f.name) {
+		panic(fmt.Sprintf("metrics: name %q is not snake_case", f.name))
+	}
+	if f.label != "" && !nameRE.MatchString(f.label) {
+		panic(fmt.Sprintf("metrics: label %q on %s is not snake_case", f.label, f.name))
+	}
+	for i, b := range f.buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: %s bucket %d is not finite", f.name, i))
+		}
+		if i > 0 && b <= f.buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets are not strictly increasing", f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", f.name))
+	}
+	r.families[f.name] = f
+}
+
+// Counter registers and returns an unlabeled counter. Nil-safe: a nil
+// registry returns a nil (inert) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: counterKind, counter: c})
+	return c
+}
+
+// Gauge registers and returns an unlabeled gauge. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: gaugeKind, gauge: g})
+	return g
+}
+
+// Histogram registers and returns an unlabeled fixed-bucket histogram.
+// buckets are the upper bounds (exclusive of +Inf, which is implicit) and
+// must be finite and strictly increasing. Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, kind: histogramKind,
+		buckets: h.upper, hist: h})
+	return h
+}
+
+// CounterVec registers and returns a counter family keyed by one label.
+// Children are created on first With and live forever, so label values must
+// come from a bounded enum (a state machine, an error taxonomy), never from
+// user input. Nil-safe.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	v := &CounterVec{children: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, kind: counterKind, label: label, cvec: v})
+	return v
+}
+
+// HistogramVec registers and returns a histogram family keyed by one label,
+// with the same bucket layout for every child. The bounded-enum rule of
+// CounterVec applies. Nil-safe.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	ref := newHistogram(buckets)
+	v := &HistogramVec{buckets: ref.upper, children: make(map[string]*Histogram)}
+	r.register(&family{name: name, help: help, kind: histogramKind, label: label,
+		buckets: ref.upper, hvec: v})
+	return v
+}
+
+// Counter is a monotonically increasing count. The nil counter is inert.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (negative deltas are ignored —
+// counters never go down).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The nil gauge is inert.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets and tracks their sum.
+// Bucket counts are per-bucket (not cumulative) internally and cumulated at
+// exposition, the Prometheus convention. The nil histogram is inert.
+type Histogram struct {
+	upper  []float64      // sorted upper bounds, +Inf excluded
+	counts []atomic.Int64 // len(upper)+1; the last slot is the +Inf bucket
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// newHistogram copies buckets so callers can reuse literals.
+func newHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum the way they poison a JSON trace).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// CounterVec is a family of counters keyed by one label value. The nil vec
+// is inert: With returns a nil counter.
+type CounterVec struct {
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it (at zero)
+// on first use. Pre-seeding every enum value at startup keeps the exposed
+// series set identical across daemon instances.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[value]
+	if c == nil {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// HistogramVec is a family of histograms keyed by one label value, sharing
+// one bucket layout. The nil vec is inert: With returns a nil histogram.
+type HistogramVec struct {
+	buckets  []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it empty
+// on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[value]
+	if h == nil {
+		h = newHistogram(v.buckets)
+		v.children[value] = h
+	}
+	return h
+}
+
+// sortedValues returns the vec's label values in sorted order. Shared by
+// exposition and snapshots so both walk children deterministically.
+func (v *CounterVec) sortedValues() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.children))
+	for val := range v.children {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// sortedValues returns the vec's label values in sorted order.
+func (v *HistogramVec) sortedValues() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.children))
+	for val := range v.children {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// child returns the existing child for value without creating one.
+func (v *CounterVec) child(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.children[value]
+}
+
+// child returns the existing child for value without creating one.
+func (v *HistogramVec) child(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.children[value]
+}
+
+// atomicFloat is a float64 with atomic add, stored as IEEE-754 bits. The
+// CAS loop is the standard lock-free float accumulator; contention is low
+// (one histogram sum per family).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+// add atomically adds v.
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// load returns the current value.
+func (f *atomicFloat) load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}

@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements drives counters, gauges and histograms from 1, 2
+// and 4 workers and checks the totals are exact. Run with -race: the hot
+// path must be safe without a lock.
+func TestConcurrentIncrements(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		r := NewRegistry()
+		c := r.Counter("test_ops_total", "ops")
+		g := r.Gauge("test_level", "level")
+		h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1})
+		cv := r.CounterVec("test_by_kind_total", "by kind", "kind")
+		const perWorker = 1000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					c.Inc()
+					g.Add(1)
+					h.Observe(0.5)
+					cv.With("a").Inc()
+				}
+			}()
+		}
+		wg.Wait()
+		want := int64(workers * perWorker)
+		if got := c.Value(); got != want {
+			t.Errorf("workers=%d: counter = %d, want %d", workers, got, want)
+		}
+		if got := g.Value(); got != want {
+			t.Errorf("workers=%d: gauge = %d, want %d", workers, got, want)
+		}
+		if got := h.Count(); got != want {
+			t.Errorf("workers=%d: histogram count = %d, want %d", workers, got, want)
+		}
+		if got := h.Sum(); got != 0.5*float64(want) {
+			t.Errorf("workers=%d: histogram sum = %g, want %g", workers, got, 0.5*float64(want))
+		}
+		if got := cv.With("a").Value(); got != want {
+			t.Errorf("workers=%d: vec child = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestExpositionDeterministic pins the byte-identical-scrapes contract:
+// families in sorted name order, children in sorted label order, and two
+// consecutive WriteText calls on an idle registry producing identical bytes.
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of name order.
+	r.Gauge("zz_depth", "depth")
+	r.Counter("aa_total", "total")
+	cv := r.CounterVec("mm_by_state_total", "by state", "state")
+	cv.With("running").Inc()
+	cv.With("done").Add(2)
+	cv.With("queued")
+
+	var one, two bytes.Buffer
+	if err := r.WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("two idle scrapes differ:\n--- first\n%s--- second\n%s", one.String(), two.String())
+	}
+
+	text := one.String()
+	aa := strings.Index(text, "# HELP aa_total")
+	mm := strings.Index(text, "# HELP mm_by_state_total")
+	zz := strings.Index(text, "# HELP zz_depth")
+	if aa < 0 || mm < 0 || zz < 0 || !(aa < mm && mm < zz) {
+		t.Fatalf("families not in sorted name order:\n%s", text)
+	}
+	done := strings.Index(text, `mm_by_state_total{state="done"} 2`)
+	queued := strings.Index(text, `mm_by_state_total{state="queued"} 0`)
+	running := strings.Index(text, `mm_by_state_total{state="running"} 1`)
+	if done < 0 || queued < 0 || running < 0 || !(done < queued && queued < running) {
+		t.Fatalf("vec children not in sorted label order:\n%s", text)
+	}
+}
+
+// TestHistogramBuckets pins the bucket boundary semantics: le is inclusive
+// (v <= bound lands in the bucket), exposition is cumulative, and the +Inf
+// bucket equals the count.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "t", []float64{1, 2})
+	h.Observe(0.5) // le="1"
+	h.Observe(1)   // boundary: still le="1"
+	h.Observe(1.5) // le="2"
+	h.Observe(99)  // +Inf only
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="2"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		`test_seconds_sum 102`,
+		`test_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestNaNObservationsDropped keeps NaN out of the sum.
+func TestNaNObservationsDropped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "t", []float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN observation was counted")
+	}
+}
+
+// TestRegistrationPanics pins the fail-loudly contract for wiring bugs.
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"duplicate name", func(r *Registry) {
+			r.Counter("dup_total", "a")
+			r.Counter("dup_total", "b")
+		}},
+		{"duplicate across kinds", func(r *Registry) {
+			r.Counter("dup_total", "a")
+			r.Gauge("dup_total", "b")
+		}},
+		{"non-snake-case name", func(r *Registry) {
+			r.Counter("BadName", "a")
+		}},
+		{"non-snake-case label", func(r *Registry) {
+			r.CounterVec("ok_total", "a", "Bad-Label")
+		}},
+		{"non-increasing buckets", func(r *Registry) {
+			r.Histogram("h_seconds", "a", []float64{2, 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+// TestNilRegistryInert pins the disabled mode: a nil registry hands out nil
+// instruments whose methods are no-ops, and nil exposition writes nothing.
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", []float64{1})
+	cv := r.CounterVec("x_by_total", "x", "k")
+	hv := r.HistogramVec("x_by_seconds", "x", "k", []float64{1})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	cv.With("a").Inc()
+	hv.With("a").Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText = (%d bytes, %v), want empty", buf.Len(), err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry Snapshot must be nil")
+	}
+}
+
+// TestDisabledPathAllocFree mirrors the obs recorder's overhead contract:
+// the disabled (nil) instruments must not allocate on the hot path.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		cv *CounterVec
+		hv *HistogramVec
+	)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+		cv.With("a").Inc()
+		hv.With("a").Observe(0.5)
+	}); n != 0 {
+		t.Fatalf("nil instruments allocated %.1f times per op, want 0", n)
+	}
+}
+
+// TestSnapshot pins the run-report snapshot shape: counters and gauges only,
+// vec children keyed name{label="value"}.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs").Add(3)
+	r.Gauge("depth", "depth").Set(7)
+	r.CounterVec("rejects_total", "rejects", "reason").With("full").Add(2)
+	r.Histogram("lat_seconds", "lat", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["jobs_total"] != 3 || snap["depth"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`rejects_total{reason="full"}`] != 2 {
+		t.Fatalf("vec child key missing: %v", snap)
+	}
+	if _, ok := snap["lat_seconds"]; ok {
+		t.Fatal("histograms must not appear in snapshots")
+	}
+}
+
+// BenchmarkCounterInc is the enabled hot path: one atomic add.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled observation path: a short bucket
+// scan plus three atomics.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", []float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.05)
+	}
+}
+
+// BenchmarkCounterIncDisabled is the nil path instrumented code pays when
+// metrics are off.
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -50,6 +50,7 @@ type Recorder struct {
 	w        io.Writer // JSONL sink; nil = collect only
 	counters map[string]int64
 	traj     []TrajectoryPoint
+	spanHook func(name string, seconds float64)
 
 	logMu sync.Mutex
 	logW  io.Writer
@@ -77,6 +78,21 @@ func (r *Recorder) SetTrace(w io.Writer) {
 // Collect turns recording on without a trace sink: counters, spans and the
 // trajectory aggregate in memory for the run report, and events are dropped.
 func (r *Recorder) Collect() { r.on.Store(true) }
+
+// SetSpanHook registers fn to receive every ended span's name and wall-time
+// duration in seconds. It is the bridge from per-run spans to aggregated
+// state: the daemon feeds ended stage spans into its metrics histograms
+// without the pipeline ever importing a metrics package. fn runs on the
+// goroutine that ends the span and must not block; nil clears the hook.
+// Nil-safe.
+func (r *Recorder) SetSpanHook(fn func(name string, seconds float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spanHook = fn
+	r.mu.Unlock()
+}
 
 // now returns seconds since the recorder was created.
 func (r *Recorder) now() float64 { return time.Since(r.start).Seconds() }
@@ -353,6 +369,13 @@ func (s *Span) End() {
 		}
 	}
 	s.mu.Unlock()
+	dur := time.Since(s.start).Seconds()
 	s.r.emit(spanEndEvent{T: s.r.now(), Ev: "span_end", ID: s.id, Name: s.name,
-		Dur: time.Since(s.start).Seconds(), Counters: counters})
+		Dur: dur, Counters: counters})
+	s.r.mu.Lock()
+	hook := s.r.spanHook
+	s.r.mu.Unlock()
+	if hook != nil {
+		hook(s.name, dur)
+	}
 }

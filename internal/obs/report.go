@@ -44,6 +44,12 @@ type RunReport struct {
 	// Metrics holds the evaluation report (metrics.Report) when the caller
 	// computed one. Typed as any so this package stays dependency-free.
 	Metrics any `json:"metrics,omitempty"`
+
+	// MetricsSnapshot captures the daemon's counter and gauge values at the
+	// moment the job finished (obs/metrics Registry.Snapshot) — fleet context
+	// frozen next to the per-run story. Additive to dpplace-run-report/v1:
+	// absent for CLI runs and for daemons without a registry.
+	MetricsSnapshot map[string]float64 `json:"metrics_snapshot,omitempty"`
 }
 
 // HPWLSummary carries the wirelength at each pipeline boundary.

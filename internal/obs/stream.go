@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,51 +25,103 @@ func UnixMilli() int64 {
 //
 // Delivery is best-effort per subscriber: a subscriber whose buffer is full
 // drops the oldest pending line rather than blocking the writer — telemetry
-// must never be able to stall a solver. Subscribers learn the stream ended
-// when their channel closes.
+// must never be able to stall a solver. Drops are never silent: each
+// subscription counts its own losses (Subscription.Drops) and an optional
+// broadcaster-wide hook (SetDropHook) feeds aggregated metrics. Subscribers
+// learn the stream ended when their channel closes.
 type LineBroadcaster struct {
-	mu      sync.Mutex
-	partial bytes.Buffer
-	subs    map[int]chan string
-	nextID  int
-	closed  bool
+	mu       sync.Mutex
+	partial  bytes.Buffer
+	subs     map[int]*Subscription
+	nextID   int
+	closed   bool
+	dropHook func()
 }
 
 // NewLineBroadcaster returns an empty broadcaster with no subscribers.
 func NewLineBroadcaster() *LineBroadcaster {
-	return &LineBroadcaster{subs: make(map[int]chan string)}
+	return &LineBroadcaster{subs: make(map[int]*Subscription)}
+}
+
+// SetDropHook registers fn to be called once per dropped line, across all
+// subscribers. fn must be fast and must not call back into the broadcaster
+// (it runs with the broadcaster locked); bumping an atomic counter is the
+// intended use. nil clears the hook.
+func (b *LineBroadcaster) SetDropHook(fn func()) {
+	b.mu.Lock()
+	b.dropHook = fn
+	b.mu.Unlock()
+}
+
+// Subscription is one subscriber's handle on a LineBroadcaster: its line
+// channel, its cancel, and its count of dropped lines. A nil *Subscription
+// is valid and inert, so callers that may watch a stream-less job never need
+// a nil check.
+type Subscription struct {
+	ch     chan string
+	drops  atomic.Int64
+	b      *LineBroadcaster
+	id     int
+	cancel sync.Once
+}
+
+// Lines returns the subscriber's channel. Lines arrive without their
+// trailing newline; the channel closes when the subscription is canceled or
+// the broadcaster closes. A nil subscription returns a nil (forever
+// blocking) channel.
+func (s *Subscription) Lines() <-chan string {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Drops returns how many lines this subscriber has lost to a full buffer —
+// the honesty counter a slow SSE client sees echoed on its heartbeats.
+// Nil-safe.
+func (s *Subscription) Drops() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.drops.Load()
+}
+
+// Cancel removes the subscription and closes its channel. Idempotent and
+// nil-safe; the broadcaster closing cancels every subscription the same way.
+func (s *Subscription) Cancel() {
+	if s == nil {
+		return
+	}
+	s.cancel.Do(func() {
+		s.b.mu.Lock()
+		if _, ok := s.b.subs[s.id]; ok {
+			delete(s.b.subs, s.id)
+			close(s.ch)
+		}
+		s.b.mu.Unlock()
+	})
 }
 
 // Subscribe registers a new subscriber with the given channel capacity
-// (minimum 1) and returns its line channel plus a cancel function. Cancel is
-// idempotent and closes the channel; the broadcaster closing also closes it.
-func (b *LineBroadcaster) Subscribe(capacity int) (<-chan string, func()) {
+// (minimum 1). On a closed broadcaster the returned subscription is already
+// canceled: its channel is closed and it will never deliver.
+func (b *LineBroadcaster) Subscribe(capacity int) *Subscription {
 	if capacity < 1 {
 		capacity = 1
 	}
-	ch := make(chan string, capacity)
+	s := &Subscription{ch: make(chan string, capacity), b: b}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		close(ch)
-		return ch, func() {}
+		s.cancel.Do(func() {}) // burn the once so Cancel won't double-close
+		close(s.ch)
+		return s
 	}
-	id := b.nextID
+	s.id = b.nextID
 	b.nextID++
-	b.subs[id] = ch
+	b.subs[s.id] = s
 	b.mu.Unlock()
-	var once sync.Once
-	cancel := func() {
-		once.Do(func() {
-			b.mu.Lock()
-			if _, ok := b.subs[id]; ok {
-				delete(b.subs, id)
-				close(ch)
-			}
-			b.mu.Unlock()
-		})
-	}
-	return ch, cancel
+	return s
 }
 
 // Write splits p into newline-terminated lines, buffering any trailing
@@ -91,20 +144,24 @@ func (b *LineBroadcaster) Write(p []byte) (int, error) {
 		line := string(data[:i])
 		b.partial.Next(i + 1)
 		//placelint:ignore maporder every subscriber gets every line; cross-subscriber delivery order is unobservable
-		for _, ch := range b.subs {
+		for _, s := range b.subs {
 			select {
-			case ch <- line:
+			case s.ch <- line:
 			default:
 				// Buffer full: drop the oldest pending line so the newest
 				// telemetry wins, then deliver. Both channel ops are
 				// nonblocking — a concurrent reader may have drained or
 				// filled the buffer between them.
+				s.drops.Add(1)
+				if b.dropHook != nil {
+					b.dropHook()
+				}
 				select {
-				case <-ch:
+				case <-s.ch:
 				default:
 				}
 				select {
-				case ch <- line:
+				case s.ch <- line:
 				default:
 				}
 			}
@@ -123,9 +180,9 @@ func (b *LineBroadcaster) Close() error {
 	}
 	b.closed = true
 	//placelint:ignore maporder closing every subscriber channel; order cannot be observed
-	for id, ch := range b.subs {
+	for id, s := range b.subs {
 		delete(b.subs, id)
-		close(ch)
+		close(s.ch)
 	}
 	return nil
 }

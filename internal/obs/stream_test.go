@@ -3,13 +3,14 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 func TestLineBroadcasterDeliversCompleteLines(t *testing.T) {
 	b := NewLineBroadcaster()
-	ch, cancel := b.Subscribe(8)
-	defer cancel()
+	sub := b.Subscribe(8)
+	defer sub.Cancel()
 
 	// Lines split across writes are reassembled; only complete lines land.
 	fmt.Fprintf(b, "alpha\nbe")
@@ -17,24 +18,29 @@ func TestLineBroadcasterDeliversCompleteLines(t *testing.T) {
 	b.Close()
 
 	var got []string
-	for line := range ch {
+	for line := range sub.Lines() {
 		got = append(got, line)
 	}
 	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
 		t.Fatalf("got %q, want [alpha beta]", got)
 	}
+	if sub.Drops() != 0 {
+		t.Fatalf("fast subscriber reports %d drops, want 0", sub.Drops())
+	}
 }
 
 func TestLineBroadcasterDropsOldestWhenSlow(t *testing.T) {
 	b := NewLineBroadcaster()
-	ch, cancel := b.Subscribe(2)
-	defer cancel()
+	sub := b.Subscribe(2)
+	defer sub.Cancel()
+	var hooked atomic.Int64
+	b.SetDropHook(func() { hooked.Add(1) })
 	for i := 0; i < 10; i++ {
 		fmt.Fprintf(b, "line%d\n", i)
 	}
 	b.Close()
 	var got []string
-	for line := range ch {
+	for line := range sub.Lines() {
 		got = append(got, line)
 	}
 	if len(got) != 2 {
@@ -44,24 +50,43 @@ func TestLineBroadcasterDropsOldestWhenSlow(t *testing.T) {
 	if got[len(got)-1] != "line9" {
 		t.Fatalf("last delivered line = %q, want line9", got[len(got)-1])
 	}
+	// 10 lines into a 2-slot buffer with no reader: 8 dropped, and the
+	// subscription and the registry hook agree on the count.
+	if sub.Drops() != 8 {
+		t.Fatalf("sub.Drops() = %d, want 8", sub.Drops())
+	}
+	if hooked.Load() != sub.Drops() {
+		t.Fatalf("drop hook fired %d times, subscription counted %d", hooked.Load(), sub.Drops())
+	}
 }
 
 func TestLineBroadcasterSubscribeAfterClose(t *testing.T) {
 	b := NewLineBroadcaster()
 	b.Close()
-	ch, cancel := b.Subscribe(1)
-	defer cancel()
-	if _, open := <-ch; open {
+	sub := b.Subscribe(1)
+	defer sub.Cancel()
+	if _, open := <-sub.Lines(); open {
 		t.Fatal("subscription to a closed broadcaster should be closed immediately")
 	}
 }
 
 func TestLineBroadcasterCancelIsIdempotent(t *testing.T) {
 	b := NewLineBroadcaster()
-	_, cancel := b.Subscribe(1)
-	cancel()
-	cancel()
+	sub := b.Subscribe(1)
+	sub.Cancel()
+	sub.Cancel()
 	b.Close()
+}
+
+func TestNilSubscriptionIsInert(t *testing.T) {
+	var sub *Subscription
+	if sub.Lines() != nil {
+		t.Fatal("nil subscription should expose a nil channel")
+	}
+	if sub.Drops() != 0 {
+		t.Fatal("nil subscription should report zero drops")
+	}
+	sub.Cancel() // must not panic
 }
 
 // TestLineBroadcasterConcurrent exercises writes, subscriptions and
@@ -73,11 +98,11 @@ func TestLineBroadcasterConcurrent(t *testing.T) {
 		readers.Add(1)
 		go func() {
 			defer readers.Done()
-			ch, cancel := b.Subscribe(4)
-			defer cancel()
+			sub := b.Subscribe(4)
+			defer sub.Cancel()
 			// Drain until the broadcaster closes; the drop-oldest policy
 			// guarantees writers never block on us.
-			for range ch {
+			for range sub.Lines() {
 			}
 		}()
 	}

@@ -28,8 +28,10 @@ func writeSpecFile(path string, spec *JobSpec) error {
 
 // writeJobReport assembles the dpplace-run-report/v1 document for one job
 // attempt — the same schema dpplace -report writes, so downstream tooling
-// (benchsum, the smoke driver) reads daemon results unchanged.
-func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep *metrics.Report, runErr error, rec *obs.Recorder) error {
+// (benchsum, the smoke driver) reads daemon results unchanged. snapshot is
+// the daemon's counter/gauge snapshot at report time (nil outside a metrics-
+// enabled daemon); it lands in the additive metrics_snapshot section.
+func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep *metrics.Report, runErr error, rec *obs.Recorder, snapshot map[string]float64) error {
 	out := &obs.RunReport{
 		Design:  design,
 		Mode:    mode.String(),
@@ -62,6 +64,7 @@ func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep 
 	if mrep != nil {
 		out.Metrics = mrep
 	}
+	out.MetricsSnapshot = snapshot
 	if err := obs.WriteReportFile(path, out); err != nil {
 		return fmt.Errorf("serve: job report: %w", err)
 	}

@@ -22,7 +22,9 @@ import (
 //	GET    /jobs/{id}/report    the dpplace-run-report/v1 JSON artifact
 //	GET    /jobs/{id}/placement the Bookshelf .pl artifact
 //	DELETE /jobs/{id}           cancel
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (200 while the process serves)
+//	GET    /readyz              readiness (503 once draining begins)
+//	GET    /metrics             Prometheus text exposition
 //	GET    /stats               scheduler snapshot
 //
 // Admission failures map to 400 (malformed spec), 429 (overloaded) and
@@ -37,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/placement", s.handleArtifact("out.pl", "text/plain; charset=utf-8"))
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -75,6 +79,7 @@ func writeError(w http.ResponseWriter, err error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := DecodeSpec(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
+		s.metrics.admissionRejects.With("malformed").Inc()
 		writeError(w, err)
 		return
 	}
@@ -135,44 +140,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer signal: 200 while the daemon admits
+// work, 503 from the instant a drain begins — before in-flight jobs finish —
+// so traffic shifts away while the drain completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// watch subscribes to a job's telemetry and state transitions. The telemetry
-// channel is nil when the job already reached a terminal state without ever
-// running (e.g. canceled while queued). Caller must invoke cancel.
-func (s *Server) watch(id string) (v View, telemetry <-chan string, cancel func(), stateCh <-chan struct{}, err error) {
+// watch subscribes to a job's telemetry and state transitions. The
+// subscription is nil when the job already reached a terminal state without
+// ever running (e.g. canceled while queued) — a nil *obs.Subscription is
+// inert, so the caller streams state events only. Caller must Cancel the
+// subscription.
+func (s *Server) watch(id string) (v View, sub *obs.Subscription, stateCh <-chan struct{}, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job, ok := s.jobs[id]
 	if !ok {
-		return View{}, nil, nil, nil, ErrNoSuchJob
+		return View{}, nil, nil, ErrNoSuchJob
 	}
 	if job.events == nil && !job.State.Terminal() {
 		// First watcher of a not-yet-running job: create the broadcaster
 		// early so no telemetry is missed when the attempt starts.
-		job.events = obs.NewLineBroadcaster()
+		job.events = s.newJobBroadcaster()
 	}
-	cancel = func() {}
 	if job.events != nil {
-		telemetry, cancel = job.events.Subscribe(256)
+		sub = job.events.Subscribe(256)
 	}
-	return job.view(), telemetry, cancel, job.stateCh, nil
+	return job.view(), sub, job.stateCh, nil
 }
 
 // handleEvents streams a job over SSE: per-iteration solver telemetry from
 // the recorder's JSONL trace feed ("telemetry" events), job state
 // transitions ("state" events), and periodic "heartbeat" events proving
-// liveness while the solver grinds between iterations. The stream ends with
-// the terminal state event.
+// liveness while the solver grinds between iterations. Heartbeats carry the
+// subscriber's dropped-line count, so a slow client knows its view of the
+// trace has holes. The stream ends with the terminal state event.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	v, telemetry, cancel, stateCh, err := s.watch(r.PathValue("id"))
+	v, sub, stateCh, err := s.watch(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	defer cancel()
+	defer sub.Cancel()
+	if sub != nil {
+		s.metrics.sseSubscribers.Add(1)
+		defer s.metrics.sseSubscribers.Add(-1)
+	}
+	telemetry := sub.Lines()
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
@@ -234,12 +260,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			emit("state", v2)
 		case <-hb.C:
-			emit("heartbeat", map[string]string{"job": v.ID})
+			emit("heartbeat", heartbeat{Job: v.ID, DroppedLines: sub.Drops()})
+			s.metrics.sseHeartbeats.Inc()
 			s.log.Add("serve/heartbeats", 1)
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// heartbeat is the SSE heartbeat payload: proof of liveness plus this
+// subscriber's cumulative dropped-line count, so a client that fell behind
+// the drop-oldest buffer can tell its trace view is incomplete.
+type heartbeat struct {
+	// Job is the watched job id.
+	Job string `json:"job"`
+	// DroppedLines counts telemetry lines this subscriber lost so far.
+	DroppedLines int64 `json:"dropped_lines"`
 }
 
 // watchState re-fetches a job's view and current state channel (no new

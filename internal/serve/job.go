@@ -66,6 +66,11 @@ type Job struct {
 	// drain; its re-execution is safe because placement is deterministic.
 	Requeued bool
 
+	// sw times the job from admission (or requeue at daemon boot) to its
+	// terminal state, feeding the end-to-end latency histogram. The zero
+	// value means "never admitted by this process" and is not observed.
+	sw obs.Stopwatch
+
 	// cancel interrupts the running attempt (nil unless running).
 	cancel context.CancelFunc
 	// events fans the per-iteration telemetry out to SSE watchers; non-nil

@@ -84,9 +84,19 @@ type Record struct {
 // which is the whole crash-safety story: the on-disk journal is always at
 // least as current as the daemon's in-memory state.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	onAppend func(fsyncSeconds float64)
+}
+
+// Instrument registers fn to be called after every successful Append with
+// the fsync's wall time in seconds. fn runs outside the journal lock and
+// must be safe for concurrent calls; nil clears the hook.
+func (j *Journal) Instrument(fn func(fsyncSeconds float64)) {
+	j.mu.Lock()
+	j.onAppend = fn
+	j.mu.Unlock()
 }
 
 // OpenJournal opens (creating if absent) the journal at dir/journal.jsonl,
@@ -178,15 +188,24 @@ func (j *Journal) Append(rec Record) error {
 	}
 	b = append(b, '\n')
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.f == nil {
+		j.mu.Unlock()
 		return fmt.Errorf("serve: journal %s is closed", j.path)
 	}
 	if _, err := j.f.Write(b); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("serve: append journal: %w", err)
 	}
+	sw := obs.StartStopwatch()
 	if err := j.f.Sync(); err != nil {
+		j.mu.Unlock()
 		return fmt.Errorf("serve: sync journal: %w", err)
+	}
+	fsyncSec := sw.Seconds()
+	hook := j.onAppend
+	j.mu.Unlock()
+	if hook != nil {
+		hook(fsyncSec)
 	}
 	return nil
 }

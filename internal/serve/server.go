@@ -16,6 +16,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	obsmetrics "repro/internal/obs/metrics"
 	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/place/global"
@@ -49,6 +50,9 @@ type Config struct {
 	MaxBody int64
 	// Log receives daemon-level logging and counters; nil logs nothing.
 	Log *obs.Recorder
+	// Metrics is the fleet metrics registry served at /metrics; nil disables
+	// metrics at zero cost (every instrument becomes an inert no-op).
+	Metrics *obsmetrics.Registry
 }
 
 // fillDefaults resolves the zero values.
@@ -83,6 +87,7 @@ type Server struct {
 	log     *obs.Recorder
 	journal *Journal
 	budget  *par.Budget
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -121,18 +126,45 @@ func New(cfg Config) (*Server, error) {
 		log:        cfg.Log,
 		journal:    journal,
 		budget:     par.NewBudget(cfg.Workers),
+		metrics:    newServerMetrics(cfg.Metrics),
 		jobs:       make(map[string]*Job),
 		queueCh:    make(chan struct{}, 1),
 		rootCtx:    rootCtx,
 		rootCancel: rootCancel,
 		dispatched: make(chan struct{}),
 	}
+	// Observation wiring: the budget reports lease waits and occupancy, the
+	// journal reports appends and fsync latency. With a nil registry every
+	// callback lands on inert instruments.
+	s.metrics.budgetWorkers.Set(int64(s.budget.Total()))
+	s.budget.SetHooks(par.BudgetHooks{
+		WaitSeconds: func(sec float64) { s.metrics.leaseWait.Observe(sec) },
+		Occupancy: func(used, hw int) {
+			s.metrics.budgetInUse.Set(int64(used))
+			s.metrics.budgetHighWater.Set(int64(hw))
+		},
+	})
+	journal.Instrument(func(fsyncSec float64) {
+		s.metrics.journalAppends.Inc()
+		s.metrics.journalFsync.Observe(fsyncSec)
+	})
 	if err := s.replay(recs); err != nil {
 		journal.Close()
 		rootCancel()
 		return nil, err
 	}
+	s.mu.Lock()
+	s.syncGauges()
+	s.mu.Unlock()
 	return s, nil
+}
+
+// syncGauges refreshes the queue-depth and running-jobs gauges from the
+// scheduler state. Caller holds the mutex; call after every mutation of the
+// queue or the running count.
+func (s *Server) syncGauges() {
+	s.metrics.queueDepth.Set(int64(s.queue.Len()))
+	s.metrics.jobsRunning.Set(int64(s.running))
 }
 
 // replay folds journal records into the job table and requeues every job a
@@ -207,7 +239,12 @@ func (s *Server) replay(recs []Record) error {
 		interrupted := j.State == StateRunning
 		j.State = StateQueued
 		j.Requeued = true
+		// The requeued job's latency clock restarts at daemon boot: the
+		// duration histogram always measures within one process lifetime.
+		j.sw = obs.StartStopwatch()
 		heap.Push(&s.queue, j)
+		s.metrics.jobState("queued")
+		s.metrics.jobState("requeued")
 		if interrupted {
 			if err := s.journal.Append(Record{Ev: EvRequeue, Job: j.ID, Attempt: j.Attempt}); err != nil {
 				return err
@@ -255,6 +292,7 @@ func (s *Server) dispatch() {
 		}
 		s.running++
 		s.runners.Add(1)
+		s.syncGauges()
 		s.mu.Unlock()
 		go s.runJob(job, grant)
 	}
@@ -271,6 +309,7 @@ func (s *Server) popQueued() *Job {
 		}
 		if s.queue.Len() > 0 {
 			job := heap.Pop(&s.queue).(*Job)
+			s.syncGauges()
 			s.mu.Unlock()
 			return job
 		}
@@ -291,16 +330,19 @@ func (s *Server) Submit(spec *JobSpec) (View, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.metrics.admissionRejects.With("draining").Inc()
 		return View{}, ErrDraining
 	}
 	if s.queue.Len() >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.log.Add("serve/rejected_queue_full", 1)
+		s.metrics.admissionRejects.With("queue_full").Inc()
 		return View{}, fmt.Errorf("%w: queue depth %d reached", ErrOverloaded, s.cfg.QueueDepth)
 	}
 	if cost := EstimateCells(spec); cost > s.cfg.MaxCells {
 		s.mu.Unlock()
 		s.log.Add("serve/rejected_too_large", 1)
+		s.metrics.admissionRejects.With("too_large").Inc()
 		return View{}, fmt.Errorf("%w: estimated %d cells exceed the %d cap",
 			ErrOverloaded, cost, s.cfg.MaxCells)
 	}
@@ -313,6 +355,7 @@ func (s *Server) Submit(spec *JobSpec) (View, error) {
 		// State set below, after the journal accepts the submit record.
 		State:   StateQueued,
 		stateCh: make(chan struct{}),
+		sw:      obs.StartStopwatch(),
 	}
 	s.mu.Unlock()
 
@@ -326,6 +369,8 @@ func (s *Server) Submit(spec *JobSpec) (View, error) {
 	s.jobs[job.ID] = job
 	heap.Push(&s.queue, job)
 	v := job.view()
+	s.metrics.jobState("queued")
+	s.syncGauges()
 	s.mu.Unlock()
 	signal(s.queueCh)
 	s.log.Add("serve/submitted", 1)
@@ -365,6 +410,10 @@ func (s *Server) Cancel(id string) (View, error) {
 		if s.queue.remove(job) {
 			heap.Init(&s.queue)
 		}
+		// Running jobs are counted terminal when their runner unwinds through
+		// finishJob; queued jobs have no runner, so count here.
+		s.countTerminal(job)
+		s.syncGauges()
 	}
 	cancel := job.cancel
 	v := job.view()
@@ -565,6 +614,7 @@ func (s *Server) runJob(job *Job, grant int) {
 	defer func() {
 		s.mu.Lock()
 		s.running--
+		s.syncGauges()
 		s.mu.Unlock()
 	}()
 
@@ -597,12 +647,13 @@ func (s *Server) runAttempt(job *Job, grant int) (retry, done bool) {
 	job.Workers = grant
 	job.cancel = cancel
 	if job.events == nil {
-		job.events = obs.NewLineBroadcaster()
+		job.events = s.newJobBroadcaster()
 	}
 	attempt := job.Attempt
 	retries := job.Retries
 	spec := job.Spec
 	job.notifyState()
+	s.metrics.jobState("running")
 	s.mu.Unlock()
 
 	if err := s.journal.Append(Record{Ev: EvStart, Job: job.ID, Attempt: attempt, Workers: grant}); err != nil {
@@ -641,6 +692,8 @@ func (s *Server) runAttempt(job *Job, grant int) (retry, done bool) {
 		job.Requeued = true
 		job.Partial = result.partial
 		job.notifyState()
+		s.metrics.jobState("queued")
+		s.metrics.jobState("requeued")
 		s.mu.Unlock()
 		s.log.Add("serve/checkpointed", 1)
 		return false, true
@@ -661,7 +714,9 @@ func (s *Server) runAttempt(job *Job, grant int) (retry, done bool) {
 		job.Error = result.errString()
 		job.notifyState()
 		nRetries := job.Retries
+		s.metrics.jobState("queued")
 		s.mu.Unlock()
+		s.metrics.retries.With(result.class()).Inc()
 		s.log.Add("serve/retries", 1)
 		s.log.Logf(obs.Warn, "serve", "job %s attempt %d failed (%s); retrying with damped options",
 			job.ID, attempt, result.class())
@@ -714,11 +769,31 @@ func (s *Server) finishJob(job *Job, state State, exit string, result attemptRes
 	job.HPWL = result.hpwl
 	job.Partial = result.partial
 	job.notifyState()
+	s.countTerminal(job)
 	events := job.events
 	s.mu.Unlock()
 	if events != nil {
 		events.Close()
 	}
+}
+
+// countTerminal records one job reaching a terminal state: the transition
+// counter plus the end-to-end latency histogram (skipped for jobs whose
+// admission clock never started, e.g. journal-replayed terminal jobs).
+// Caller holds the mutex.
+func (s *Server) countTerminal(job *Job) {
+	s.metrics.jobState(string(job.State))
+	if job.sw.Started() {
+		s.metrics.jobDuration.Observe(job.sw.Seconds())
+	}
+}
+
+// newJobBroadcaster builds a job's telemetry broadcaster with its drops wired
+// to the fleet dropped-lines counter.
+func (s *Server) newJobBroadcaster() *obs.LineBroadcaster {
+	b := obs.NewLineBroadcaster()
+	b.SetDropHook(func() { s.metrics.sseDropped.Inc() })
+	return b
 }
 
 // failJob is finishJob for infrastructure failures that have no attempt
@@ -772,9 +847,11 @@ func (s *Server) place(ctx context.Context, job *Job, spec *JobSpec, workers, re
 	}
 
 	// Per-job recorder: collected counters feed the run report; the JSONL
-	// trace tees into trace.jsonl and the SSE broadcaster.
+	// trace tees into trace.jsonl and the SSE broadcaster. The span hook
+	// bridges per-stage wall times into the fleet stage histograms.
 	rec := obs.New()
 	rec.Collect()
+	rec.SetSpanHook(s.metrics.observeStage)
 	traceFile, err := os.Create(filepath.Join(dir, "trace.jsonl"))
 	if err != nil {
 		return attemptResult{err: fmt.Errorf("serve: trace file: %w", err)}
@@ -811,7 +888,12 @@ func (s *Server) place(ctx context.Context, job *Job, spec *JobSpec, workers, re
 			metrics.Options{Obs: rec, Workers: workers})
 		mrep = &r
 	}
-	if err := writeJobReport(filepath.Join(dir, "report.json"), d.Netlist.Name, opt.Mode, res, mrep, runErr, rec); err != nil {
+	// Fold this attempt's solver health counters into the fleet registry
+	// before snapshotting, so the report's metrics_snapshot includes the work
+	// it describes.
+	s.metrics.foldRecorder(rec)
+	snapshot := s.cfg.Metrics.Snapshot()
+	if err := writeJobReport(filepath.Join(dir, "report.json"), d.Netlist.Name, opt.Mode, res, mrep, runErr, rec, snapshot); err != nil {
 		s.log.Logf(obs.Warn, "serve", "job %s: %v", job.ID, err)
 	}
 	if res.LegalityChecked {

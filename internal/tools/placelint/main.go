@@ -6,7 +6,7 @@
 //
 // It is stdlib-only (go/ast + go/parser + go/types with the source
 // importer), following the docslint precedent — no external linter
-// dependency. Five checks ship today, one file each:
+// dependency. Six checks ship today, one file each:
 //
 //	maporder       for-range over a map outside the collect-then-sort idiom
 //	pardiscipline  writes escaping the worker-owned slot inside closures
@@ -17,6 +17,9 @@
 //	               epsilon helpers
 //	errwrap        error arguments formatted with a verb other than %w,
 //	               which would sever the internal/pipeline sentinel chain
+//	metricnames    metric registrations on internal/obs/metrics.Registry
+//	               whose name or label is dynamic, not snake_case, or a
+//	               duplicate within the package
 //
 // A true finding that is nevertheless safe is suppressed in place with
 //
@@ -28,11 +31,12 @@
 //
 // Usage:
 //
-//	go run ./internal/tools/placelint [dir ...]
+//	go run ./internal/tools/placelint [-only check[,check...]] [dir ...]
 //
-// With no arguments it lints the whole module ("."). Test files and
-// testdata directories are exempt. Exit status: 0 clean, 1 violations,
-// 2 operational failure (parse or type-check error).
+// With no arguments it lints the whole module ("."). -only restricts the
+// run to the named checks (e.g. `-only metricnames` for the metrics-schema
+// gate). Test files and testdata directories are exempt. Exit status:
+// 0 clean, 1 violations, 2 operational failure (parse or type-check error).
 package main
 
 import (
@@ -49,7 +53,18 @@ import (
 )
 
 func main() {
-	roots := os.Args[1:]
+	args := os.Args[1:]
+	var only []string
+	if len(args) >= 2 && args[0] == "-only" {
+		only = strings.Split(args[1], ",")
+		for _, c := range only {
+			if !knownCheck(c) {
+				fatalf("-only names unknown check %q", c)
+			}
+		}
+		args = args[2:]
+	}
+	roots := args
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -62,7 +77,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		for _, dir := range dirs {
-			fs, err := lintDir(fset, imp, dir, nil)
+			fs, err := lintDir(fset, imp, dir, only)
 			if err != nil {
 				fatalf("%s: %v", dir, err)
 			}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// checkMetricNames statically enforces the metric-registration contract of
+// internal/obs/metrics before it can panic at daemon startup: every name and
+// label handed to a Registry constructor (Counter, Gauge, Histogram,
+// CounterVec, HistogramVec) must be a compile-time string constant in
+// snake_case, and no name may be registered twice within a package. The
+// registry panics on these at runtime; the check moves the failure to review
+// time and additionally catches duplicates that only collide across distant
+// call sites.
+//
+// Names built at runtime (fmt.Sprintf, variables of unknown value) are
+// flagged too: dynamic metric names defeat both the duplicate analysis and
+// the fixed-series-set discipline the exposition relies on. A registration
+// helper that genuinely must compute its name carries
+// //placelint:ignore metricnames <reason>.
+func checkMetricNames(p *pass) {
+	seen := map[string]token.Pos{}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryConstructor(p.info, call)
+			if !ok {
+				return true
+			}
+			name, nameOK := p.constString(call.Args[0])
+			if !nameOK {
+				p.reportf(call.Args[0].Pos(), "metricnames",
+					"metric name passed to Registry.%s is not a compile-time string constant: dynamic names defeat duplicate detection and the fixed-series discipline", method)
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				p.reportf(call.Args[0].Pos(), "metricnames",
+					"metric name %q is not snake_case ([a-z][a-z0-9_]*)", name)
+			} else if first, dup := seen[name]; dup {
+				p.reportf(call.Args[0].Pos(), "metricnames",
+					"duplicate registration of metric %q (first registered at %s)",
+					name, p.fset.Position(first))
+			} else {
+				seen[name] = call.Args[0].Pos()
+			}
+			if li := labelArgIndex(method); li >= 0 && li < len(call.Args) {
+				label, labelOK := p.constString(call.Args[li])
+				switch {
+				case !labelOK:
+					p.reportf(call.Args[li].Pos(), "metricnames",
+						"label name passed to Registry.%s is not a compile-time string constant", method)
+				case !metricNameRE.MatchString(label):
+					p.reportf(call.Args[li].Pos(), "metricnames",
+						"label name %q is not snake_case ([a-z][a-z0-9_]*)", label)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// metricNameRE is the snake_case shape the registry accepts; keep in sync
+// with internal/obs/metrics.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registryMethods maps the Registry constructor names to recognition. The
+// instrument-level methods (With, Add, Observe) are deliberately absent:
+// label values are runtime data, only names and label keys are schema.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "HistogramVec": true,
+}
+
+// labelArgIndex returns the argument position of the label name for vec
+// constructors (-1 for unlabeled instruments).
+func labelArgIndex(method string) int {
+	if strings.HasSuffix(method, "Vec") {
+		return 2 // (name, help, label, ...)
+	}
+	return -1
+}
+
+// registryConstructor reports whether call invokes a metric-registering
+// method of internal/obs/metrics.Registry, returning the method name.
+func registryConstructor(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] || len(call.Args) < 2 {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(obj.Pkg().Path(), "internal/obs/metrics") {
+		return "", false
+	}
+	// Methods only: the receiver must be the Registry type, not a free
+	// function from the same package that happens to share a name.
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !strings.Contains(sig.Recv().Type().String(), "Registry") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constString resolves e to its compile-time string value when the type
+// checker proved it constant (string literals, named constants, constant
+// concatenation).
+func (p *pass) constString(e ast.Expr) (string, bool) {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

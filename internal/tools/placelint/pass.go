@@ -13,8 +13,8 @@ import (
 )
 
 // checks registers every analysis in the order they run. One check, one
-// file, one invariant — adding a sixth check is a new entry here plus a new
-// file with a checkXxx(*pass) function and a testdata package.
+// file, one invariant — adding a seventh check is a new entry here plus a
+// new file with a checkXxx(*pass) function and a testdata package.
 var checks = []struct {
 	name string
 	run  func(*pass)
@@ -24,6 +24,7 @@ var checks = []struct {
 	{"walltime", checkWallTime},
 	{"floateq", checkFloatEq},
 	{"errwrap", checkErrWrap},
+	{"metricnames", checkMetricNames},
 }
 
 // knownCheck reports whether name is a registered check, for validating

@@ -24,6 +24,7 @@ func TestChecksOnTestdata(t *testing.T) {
 		{"walltime", []string{"walltime"}},
 		{"floateq", []string{"floateq"}},
 		{"errwrap", []string{"errwrap"}},
+		{"metricnames", []string{"metricnames"}},
 		{"ignore", nil},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,37 @@
+// Package metricnames seeds the metricnames check: names and labels handed
+// to the internal/obs/metrics Registry constructors must be compile-time
+// string constants in snake_case, registered at most once per package.
+// Constant-folded names and the full snake_case alphabet are exempt.
+package metricnames
+
+import (
+	"fmt"
+
+	metrics "repro/internal/obs/metrics"
+)
+
+// prefix participates in constant folding — still a compile-time constant.
+const prefix = "app_"
+
+func violations(r *metrics.Registry, dynamic string) {
+	r.Counter("CamelCase_total", "bad case")                         // want "not snake_case"
+	r.Gauge("kebab-case-depth", "bad case")                          // want "not snake_case"
+	r.Counter("dup_total", "first")                                  // exempt: first registration
+	r.Counter("dup_total", "second")                                 // want "duplicate registration of metric \"dup_total\""
+	r.Counter(dynamic, "runtime name")                               // want "not a compile-time string constant"
+	r.Gauge(fmt.Sprintf("x_%d", 1), "computed")                      // want "not a compile-time string constant"
+	r.CounterVec("ok_total", "bad label", "Bad")                     // want "label name \"Bad\" is not snake_case"
+	r.HistogramVec("ok_seconds", "dyn label", dynamic, []float64{1}) // want "label name passed to Registry.HistogramVec is not a compile-time string constant"
+}
+
+func exempt(r *metrics.Registry) {
+	c := r.Counter("jobs_total", "plain snake_case")
+	g := r.Gauge(prefix+"queue_depth", "constant concatenation folds fine")
+	h := r.Histogram("latency_seconds_2", "digits and underscores", []float64{1, 2})
+	v := r.CounterVec("rejects_total", "label keys checked, values free", "reason")
+	c.Inc()
+	g.Set(1)
+	h.Observe(0.5)
+	// Label VALUES are runtime data — never checked.
+	v.With("anything-Goes HERE").Inc()
+}

@@ -1,13 +1,26 @@
-// Command servesmoke is the CI smoke driver for dpplaced: it boots the
-// daemon on an ephemeral port, submits an example generated netlist, polls
-// the job to completion, validates the dpplace-run-report/v1 artifact and
-// the placement, sends SIGTERM, and asserts a clean drain (exit 0). Any
-// deviation exits nonzero with a description, so the Makefile target
+// Command servesmoke is the CI smoke driver for dpplaced. It runs two
+// scripted daemon lifetimes against one shared data directory:
+//
+// Phase 1 (clean lifecycle): boot the daemon on an ephemeral port, check the
+// health probes, submit an example generated netlist, poll the job to
+// completion, validate the dpplace-run-report/v1 artifact (including its
+// metrics_snapshot section) and the placement, scrape /metrics and assert
+// the core series exist and that two idle scrapes are byte-identical, then
+// SIGTERM and assert a clean drain (exit 0).
+//
+// Phase 2 (drain under load): reboot the daemon on the same data directory
+// (exercising journal replay) with a short -drain-timeout, submit a job big
+// enough to still be grinding at the deadline, SIGTERM mid-run, assert
+// /readyz flips to 503 while the job is still running and /metrics keeps
+// serving through the drain window, and assert the daemon exits 3 (forced
+// drain: the job checkpointed for the next instance).
+//
+// Any deviation exits nonzero with a description, so the Makefile target
 // (`make serve-smoke`) is a single command in CI.
 //
 // Usage:
 //
-//	servesmoke -bin path/to/dpplaced [-timeout 120s]
+//	servesmoke -bin path/to/dpplaced [-timeout 300s]
 package main
 
 import (
@@ -15,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -26,7 +40,7 @@ import (
 
 func main() {
 	bin := flag.String("bin", "", "path to the dpplaced binary (required)")
-	timeout := flag.Duration("timeout", 120*time.Second, "overall smoke budget")
+	timeout := flag.Duration("timeout", 300*time.Second, "overall smoke budget")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "usage: servesmoke -bin path/to/dpplaced")
@@ -39,6 +53,131 @@ func main() {
 	fmt.Println("serve-smoke: PASS")
 }
 
+// daemon is one running dpplaced instance under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	done chan error
+	base string
+}
+
+// startDaemon boots the binary on an ephemeral port over the given data dir
+// and waits (via poll) for the published address file.
+func startDaemon(bin, data string, extraArgs []string, wait func(string, func() (bool, error)) error) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", data, "-workers", "2"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start daemon: %w", err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+	var addr string
+	if err := wait("daemon startup", func() (bool, error) {
+		b, err := os.ReadFile(filepath.Join(data, "dpplaced.addr"))
+		if err != nil || len(strings.TrimSpace(string(b))) == 0 {
+			return false, nil
+		}
+		addr = strings.TrimSpace(string(b))
+		return true, nil
+	}); err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	d.base = "http://" + addr
+	return d, nil
+}
+
+// getStatus fetches path and returns the status code (0 on transport error).
+func (d *daemon) getStatus(path string) int {
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// scrapeMetrics fetches /metrics and returns the exposition text.
+func (d *daemon) scrapeMetrics() (string, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return "", fmt.Errorf("GET /metrics: Content-Type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("GET /metrics: read: %w", err)
+	}
+	return string(b), nil
+}
+
+// submit posts a job spec and returns the job id.
+func (d *daemon) submit(spec string) (string, error) {
+	resp, err := http.Post(d.base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", fmt.Errorf("submit: %w", err)
+	}
+	var view struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		return "", fmt.Errorf("submit: decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		return "", fmt.Errorf("submit: status %d (%s)", resp.StatusCode, view.Error)
+	}
+	return view.ID, nil
+}
+
+// jobView is the subset of the job view the smoke inspects.
+type jobView struct {
+	State string  `json:"state"`
+	Exit  string  `json:"exit"`
+	Error string  `json:"error"`
+	HPWL  float64 `json:"hpwl"`
+}
+
+// job fetches one job's view (ok=false on transport/decode trouble, which
+// pollers treat as retry).
+func (d *daemon) job(id string) (jobView, bool) {
+	var v jobView
+	resp, err := http.Get(d.base + "/jobs/" + id)
+	if err != nil {
+		return v, false
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, false
+	}
+	return v, true
+}
+
+// coreSeries are the /metrics series whose presence phase 1 asserts after
+// one completed job.
+var coreSeries = []string{
+	`dpplaced_jobs_total{state="done"} 1`,
+	`dpplaced_jobs_total{state="queued"} 1`,
+	`dpplaced_jobs_total{state="running"} 1`,
+	`dpplaced_queue_depth 0`,
+	`dpplaced_job_duration_seconds_count 1`,
+	`dpplaced_job_duration_seconds_bucket`,
+	`dpplaced_journal_fsync_seconds_bucket`,
+	`dpplaced_journal_appends_total`,
+	`dpplaced_admission_rejects_total{reason="queue_full"} 0`,
+	`dpplaced_par_budget_workers 2`,
+	`dpplace_stage_seconds_bucket{stage="global",le=`,
+	`dpplace_health_events_total{kind="rollbacks"}`,
+}
+
 // smoke runs the whole scenario; any error fails the smoke.
 func smoke(bin string, budget time.Duration) error {
 	data, err := os.MkdirTemp("", "servesmoke")
@@ -47,21 +186,13 @@ func smoke(bin string, budget time.Duration) error {
 	}
 	defer os.RemoveAll(data)
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", data, "-workers", "2")
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("start daemon: %w", err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	defer cmd.Process.Kill()
-
 	// The overall budget is enforced with a deadline timer rather than
 	// wall-clock reads.
 	expired := time.NewTimer(budget)
 	defer expired.Stop()
 	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
+	var activeDone chan error
 	wait := func(what string, poll func() (bool, error)) error {
 		for {
 			ok, err := poll()
@@ -72,7 +203,7 @@ func smoke(bin string, budget time.Duration) error {
 				return nil
 			}
 			select {
-			case err := <-done:
+			case err := <-activeDone:
 				return fmt.Errorf("%s: daemon exited early: %w", what, err)
 			case <-expired.C:
 				return fmt.Errorf("%s: smoke budget exhausted", what)
@@ -81,63 +212,54 @@ func smoke(bin string, budget time.Duration) error {
 		}
 	}
 
-	// 1. The daemon publishes its resolved address.
-	var addr string
-	if err := wait("daemon startup", func() (bool, error) {
-		b, err := os.ReadFile(filepath.Join(data, "dpplaced.addr"))
-		if err != nil || len(strings.TrimSpace(string(b))) == 0 {
-			return false, nil
-		}
-		addr = strings.TrimSpace(string(b))
-		return true, nil
-	}); err != nil {
+	if err := phaseCleanLifecycle(bin, data, &activeDone, wait, expired.C); err != nil {
+		return fmt.Errorf("phase 1: %w", err)
+	}
+	if err := phaseDrainUnderLoad(bin, data, &activeDone, wait, expired.C); err != nil {
+		return fmt.Errorf("phase 2: %w", err)
+	}
+	return nil
+}
+
+// phaseCleanLifecycle is the happy path: one job end to end, probes green,
+// metrics populated and deterministic, clean drain on SIGTERM.
+func phaseCleanLifecycle(bin, data string, activeDone *chan error,
+	wait func(string, func() (bool, error)) error, expired <-chan time.Time) error {
+	d, err := startDaemon(bin, data, nil, wait)
+	if err != nil {
 		return err
 	}
-	base := "http://" + addr
+	*activeDone = d.done
+	defer d.cmd.Process.Kill()
 
-	// 2. Submit an example generated netlist.
-	spec := `{"name":"smoke","priority":1,
+	// Health probes before any work: alive and ready.
+	if got := d.getStatus("/healthz"); got != http.StatusOK {
+		return fmt.Errorf("/healthz = %d, want 200", got)
+	}
+	if got := d.getStatus("/readyz"); got != http.StatusOK {
+		return fmt.Errorf("/readyz = %d, want 200", got)
+	}
+
+	id, err := d.submit(`{"name":"smoke","priority":1,
 		"gen":{"seed":7,"bits":8,"units":["adder","regbank"],"random_cells":300,"pads":12},
-		"options":{"outer":8,"inner":20}}`
-	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+		"options":{"outer":8,"inner":20}}`)
 	if err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return err
 	}
-	var view struct {
-		ID    string `json:"id"`
-		Error string `json:"error"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&view)
-	resp.Body.Close()
-	if err != nil {
-		return fmt.Errorf("submit: decode: %w", err)
-	}
-	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
-		return fmt.Errorf("submit: status %d (%s)", resp.StatusCode, view.Error)
-	}
-	fmt.Printf("serve-smoke: submitted %s to %s\n", view.ID, base)
+	fmt.Printf("serve-smoke: submitted %s to %s\n", id, d.base)
 
-	// 3. Poll the job to completion.
-	var last struct {
-		State string  `json:"state"`
-		Exit  string  `json:"exit"`
-		Error string  `json:"error"`
-		HPWL  float64 `json:"hpwl"`
-	}
+	var last jobView
 	if err := wait("job completion", func() (bool, error) {
-		resp, err := http.Get(base + "/jobs/" + view.ID)
-		if err != nil {
+		v, ok := d.job(id)
+		if !ok {
 			return false, nil
 		}
-		defer resp.Body.Close()
-		if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
-			return false, nil
-		}
-		switch last.State {
+		last = v
+		switch v.State {
 		case "done":
 			return true, nil
 		case "failed", "canceled":
-			return false, fmt.Errorf("job %s %s: %s", view.ID, last.State, last.Error)
+			return false, fmt.Errorf("job %s %s: %s", id, v.State, v.Error)
 		}
 		return false, nil
 	}); err != nil {
@@ -146,10 +268,10 @@ func smoke(bin string, budget time.Duration) error {
 	if last.Exit != "ok" || last.HPWL <= 0 {
 		return fmt.Errorf("job finished exit=%q hpwl=%v, want ok with positive HPWL", last.Exit, last.HPWL)
 	}
-	fmt.Printf("serve-smoke: %s done, HPWL %.0f\n", view.ID, last.HPWL)
+	fmt.Printf("serve-smoke: %s done, HPWL %.0f\n", id, last.HPWL)
 
-	// 4. Validate the run-report artifact.
-	resp, err = http.Get(base + "/jobs/" + view.ID + "/report")
+	// Validate the run-report artifact, metrics_snapshot included.
+	resp, err := http.Get(d.base + "/jobs/" + id + "/report")
 	if err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
@@ -159,6 +281,7 @@ func smoke(bin string, budget time.Duration) error {
 		HPWL   struct {
 			Final float64 `json:"final"`
 		} `json:"hpwl"`
+		MetricsSnapshot map[string]float64 `json:"metrics_snapshot"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&report)
 	resp.Body.Close()
@@ -171,9 +294,15 @@ func smoke(bin string, budget time.Duration) error {
 	if report.Exit != "ok" || report.HPWL.Final <= 0 {
 		return fmt.Errorf("report exit=%q final=%v, want ok with positive final HPWL", report.Exit, report.HPWL.Final)
 	}
+	if len(report.MetricsSnapshot) == 0 {
+		return fmt.Errorf("report has no metrics_snapshot section")
+	}
+	if report.MetricsSnapshot[`dpplaced_jobs_total{state="running"}`] < 1 {
+		return fmt.Errorf("metrics_snapshot missing the running-state transition: %v", report.MetricsSnapshot)
+	}
 
-	// 5. The placement artifact is a Bookshelf .pl.
-	resp, err = http.Get(base + "/jobs/" + view.ID + "/placement")
+	// The placement artifact is a Bookshelf .pl.
+	resp, err = http.Get(d.base + "/jobs/" + id + "/placement")
 	if err != nil {
 		return fmt.Errorf("placement: %w", err)
 	}
@@ -184,12 +313,50 @@ func smoke(bin string, budget time.Duration) error {
 		return fmt.Errorf("placement artifact does not look like a .pl: %q", plBytes[:n])
 	}
 
-	// 6. SIGTERM: the drain must be clean (exit 0).
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	// Wait for the scheduler to go fully idle (runner unwound, budget
+	// released), then assert the exposition: core series present, and two
+	// consecutive idle scrapes byte-identical.
+	if err := wait("scheduler idle", func() (bool, error) {
+		resp, err := http.Get(d.base + "/stats")
+		if err != nil {
+			return false, nil
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Running      int `json:"running"`
+			WorkersInUse int `json:"workers_in_use"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return false, nil
+		}
+		return st.Running == 0 && st.WorkersInUse == 0, nil
+	}); err != nil {
+		return err
+	}
+	text, err := d.scrapeMetrics()
+	if err != nil {
+		return err
+	}
+	for _, want := range coreSeries {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	again, err := d.scrapeMetrics()
+	if err != nil {
+		return err
+	}
+	if again != text {
+		return fmt.Errorf("two idle /metrics scrapes are not byte-identical")
+	}
+	fmt.Println("serve-smoke: /metrics core series present, idle scrapes identical")
+
+	// SIGTERM: the drain must be clean (exit 0).
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal: %w", err)
 	}
 	select {
-	case err := <-done:
+	case err := <-d.done:
 		if err != nil {
 			var ee *exec.ExitError
 			if errors.As(err, &ee) {
@@ -197,9 +364,87 @@ func smoke(bin string, budget time.Duration) error {
 			}
 			return fmt.Errorf("drain: %w", err)
 		}
-	case <-expired.C:
+	case <-expired:
 		return fmt.Errorf("drain: daemon still running at the smoke budget")
 	}
 	fmt.Println("serve-smoke: clean drain")
+	return nil
+}
+
+// phaseDrainUnderLoad reboots on the same data dir (journal replay), pins a
+// grinder job, and proves the drain-aware probe contract: /readyz flips to
+// 503 before the in-flight job finishes, /metrics serves through the drain,
+// and the forced drain exits 3.
+func phaseDrainUnderLoad(bin, data string, activeDone *chan error,
+	wait func(string, func() (bool, error)) error, expired <-chan time.Time) error {
+	d, err := startDaemon(bin, data, []string{"-drain-timeout", "2s"}, wait)
+	if err != nil {
+		return err
+	}
+	*activeDone = d.done
+	defer d.cmd.Process.Kill()
+
+	// The replayed daemon still serves phase 1's terminal job.
+	if got := d.getStatus("/readyz"); got != http.StatusOK {
+		return fmt.Errorf("/readyz after replay = %d, want 200", got)
+	}
+
+	id, err := d.submit(`{"name":"grinder",
+		"gen":{"seed":7,"bits":8,"units":["adder","muxtree"],"random_cells":2500,"pads":16},
+		"options":{"outer":400,"inner":200,"workers":1}}`)
+	if err != nil {
+		return err
+	}
+	if err := wait("grinder running", func() (bool, error) {
+		v, ok := d.job(id)
+		if !ok {
+			return false, nil
+		}
+		if v.State == "done" || v.State == "failed" {
+			return false, fmt.Errorf("grinder finished (%s) before the drain; enlarge the spec", v.State)
+		}
+		return v.State == "running", nil
+	}); err != nil {
+		return err
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	// The readiness probe must flip while the grinder still runs.
+	if err := wait("/readyz flip to 503", func() (bool, error) {
+		return d.getStatus("/readyz") == http.StatusServiceUnavailable, nil
+	}); err != nil {
+		return err
+	}
+	if v, ok := d.job(id); !ok || v.State != "running" {
+		return fmt.Errorf("job state during 503 window = %q, want running", v.State)
+	}
+	text, err := d.scrapeMetrics()
+	if err != nil {
+		return fmt.Errorf("scrape during drain: %w", err)
+	}
+	if !strings.Contains(text, `dpplaced_jobs_running 1`) {
+		return fmt.Errorf("/metrics during drain missing dpplaced_jobs_running 1")
+	}
+	fmt.Println("serve-smoke: /readyz flipped to 503 mid-run, /metrics live during drain")
+
+	// The 2s drain deadline forces the checkpoint path: exit code 3.
+	select {
+	case err := <-d.done:
+		var ee *exec.ExitError
+		if err == nil {
+			return fmt.Errorf("forced drain exited 0, want 3 (checkpointed)")
+		}
+		if !errors.As(err, &ee) {
+			return fmt.Errorf("forced drain: %w", err)
+		}
+		if ee.ExitCode() != 3 {
+			return fmt.Errorf("forced drain exit code %d, want 3", ee.ExitCode())
+		}
+	case <-expired:
+		return fmt.Errorf("forced drain: daemon still running at the smoke budget")
+	}
+	fmt.Println("serve-smoke: forced drain checkpointed (exit 3)")
 	return nil
 }
