@@ -98,10 +98,21 @@ bench:
 	@echo "wrote BENCH_structure_aware.json, BENCH_baseline.json," \
 		"BENCH_multilevel.json and BENCH_structure_aware_trace.jsonl"
 	$(MAKE) bench-workers
-	$(GO) test -run '^$$' -bench 'BenchmarkLineSearchProbe' -benchmem \
-		./internal/place/global | tee BENCH_linesearch_cache.txt
-	$(GO) run ./internal/tools/benchsum -linesearch BENCH_linesearch_cache.txt \
-		BENCH_linesearch_cache.json
+	$(MAKE) bench-kernels
+	cp BENCH_kernels_new.json BENCH_kernels.json
+
+# SoA solver-kernel microbenchmarks: measure the wirelength and density
+# kernels and summarize their ns/op table to BENCH_kernels_new.json
+# (dpplace-kernel-bench/v1). `make bench` promotes it to the committed
+# BENCH_kernels.json baseline; `make bench-smoke` diffs against that
+# baseline instead, failing on a >10% kernel regression.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkWAGradSoA' -benchmem \
+		./internal/wirelength | tee BENCH_kernels.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDensitySoA' -benchmem \
+		./internal/density | tee -a BENCH_kernels.txt
+	$(GO) run ./internal/tools/benchsum -kernels BENCH_kernels.txt \
+		BENCH_kernels_new.json
 
 # Worker-count sweep: place the same design at -workers 1,2,4,8, record one
 # run report each, then let benchsum fill parallel_speedup (global-stage
@@ -117,9 +128,14 @@ bench-workers:
 		BENCH_workers_4.json BENCH_workers_8.json
 
 # One iteration of every benchmark: catches bit-rot in benchmark code
-# without paying for real measurements. CI runs this on every push.
+# without paying for real measurements. CI runs this on every push. The
+# kernel microbenchmarks additionally run for real and gate against the
+# committed baseline (>10% ns/op regression on any kernel fails).
 bench-smoke:
 	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
+	$(MAKE) bench-kernels
+	$(GO) run ./internal/tools/benchsum -diff BENCH_kernels.json \
+		BENCH_kernels_new.json
 
 # Regression gate between two recorded runs: compares OLD and NEW run
 # reports (dpplace-run-report/v1, e.g. two BENCH_structure_aware.json from

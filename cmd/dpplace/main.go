@@ -448,6 +448,10 @@ func printSummary(w *os.File, mode core.Mode, res *core.Result, rep *metrics.Rep
 	fmt.Fprintf(w, "time:            %.2fs (extract %.2fs, global %.2fs, legal %.2fs, detail %.2fs)\n",
 		res.Times.Total().Seconds(), res.Times.Extract.Seconds(),
 		res.Times.Global.Seconds(), res.Times.Legalize.Seconds(), res.Times.Detail.Seconds())
+	if g := res.GlobalResult; g.NetRecomputes+g.NetReuses > 0 {
+		fmt.Fprintf(w, "incremental:     dirty-net ratio %.3f (%d full, %d delta evals)\n",
+			g.DirtyNetRatio(), g.FullEvals, g.DeltaEvals)
+	}
 
 	diag := res.GlobalResult.Diagnostics
 	if diag.Recoveries > 0 || diag.Rollbacks > 0 || diag.ReAnneals > 0 {
@@ -491,8 +495,11 @@ func writeReport(path, design string, mode core.Mode, res *core.Result, rep *met
 			"legalize": res.Times.Legalize.Seconds(),
 			"detail":   res.Times.Detail.Seconds(),
 		},
-		Counters:   counters,
-		Trajectory: rec.Trajectory(),
+		Counters:        counters,
+		Trajectory:      rec.Trajectory(),
+		DirtyNetRatio:   res.GlobalResult.DirtyNetRatio(),
+		FullRecomputes:  res.GlobalResult.FullEvals,
+		DeltaRecomputes: res.GlobalResult.DeltaEvals,
 	}
 	if res.Multilevel != nil {
 		out.Levels = res.Multilevel.Levels

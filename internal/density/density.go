@@ -2,6 +2,14 @@
 // analytical global placement: an exact utilization map with the standard
 // overflow metric, and the NTUplace3-style smooth bell-shaped potential with
 // analytic gradients, used as the spreading penalty during optimization.
+//
+// The Potential evaluates through flat SoA kernels (soa.go): per-cell 1-D
+// bell tables with a separable normalization, a branch-free table-driven
+// splat, and a chain-rule gradient over the same tables. The split Value /
+// Gradient API lets the placement engine's delta evaluator reuse a cached
+// objective and still obtain gradients from the stored tables; Eval fuses
+// the two for ordinary callers. Results are bit-identical at every worker
+// count (SetParallel).
 package density
 
 import (
@@ -114,13 +122,16 @@ type Potential struct {
 	pool *par.Pool
 	ctx  context.Context
 
-	// Per-Eval scratch, sized on first use.
-	movable  []int32   // indices of movable cells, ascending
-	norm     []float64 // per-movable-cell kernel normalization at current centers
-	effW     []float64 // per-movable-cell effective kernel width
-	effH     []float64 // per-movable-cell effective kernel height
-	rowStart []int     // CSR offsets into rowCells, one per grid row (+1)
-	rowCells []int32   // movable-list indices whose kernel touches the row, ascending
+	// SoA scratch, sized on first use (soa.go). tabX/tabY hold the per-cell
+	// 1-D bell constants and the tables the current Value pass filled; norm
+	// is the separable normalization; valReady gates Gradient.
+	movable  []int32    // indices of movable cells, ascending
+	norm     []float64  // per-movable-cell kernel normalization at current centers
+	tabX     axisTables // x-axis bell constants + current tables
+	tabY     axisTables // y-axis bell constants + current tables
+	valReady bool       // a Value pass has filled the tables and residuals
+	rowStart []int      // CSR offsets into rowCells, one per grid row (+1)
+	rowCells []int32    // movable-list indices whose kernel touches the row, ascending
 }
 
 // NewPotential prepares a potential for nl over grid with the given target
@@ -160,7 +171,9 @@ func NewPotential(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, ta
 
 // bell evaluates the one-dimensional bell kernel and its derivative for a
 // cell of size w whose center is at distance d (signed) from the bin center.
-// wb is the bin size along the axis.
+// wb is the bin size along the axis. This is the reference form; the hot
+// path precomputes the piecewise constants per cell and fills tables
+// (axisTables.fill), which the kernel tests cross-check against bell.
 func bell(d, w, wb float64) (p, dp float64) {
 	ad := math.Abs(d)
 	r1 := w/2 + wb   // inner knee
@@ -198,116 +211,17 @@ func (p *Potential) SetParallel(pool *par.Pool, ctx context.Context) {
 // adds ∂N/∂cx into gx and ∂N/∂cy into gy when they are non-nil. Fixed cells
 // contribute nothing (their blockage already lowered the targets).
 //
-// Evaluation runs in four passes — per-cell kernel normalization, density
-// splat tiled by bin rows, the serial objective sum, and the per-cell
-// gradient chain rule — so the first, second and fourth can run on the pool
-// installed with SetParallel while each bin and each gradient slot still
-// sees its contributions in a fixed order.
+// Eval is the composition of Value and Gradient (soa.go): a table-fill +
+// splat pass producing the objective, then — when a gradient is requested —
+// a chain-rule pass over the same tables. Callers that can prove the
+// coordinates have not changed since the last Value may call Gradient alone;
+// the global-placement engine's delta evaluator does exactly that.
 func (p *Potential) Eval(cx, cy []float64, gx, gy []float64) float64 {
-	g := p.grid
-	p.ensureScratch()
-
-	// Pass 1: per-cell kernel normalization at the current centers (pure
-	// per-cell function; embarrassingly parallel). The footprint row index
-	// for pass 2 rides along.
-	if err := p.pool.Run(p.ctx, len(p.movable), 64, func(lo, hi int) {
-		for mi := lo; mi < hi; mi++ {
-			ci := int(p.movable[mi])
-			cell := &p.nl.Cells[ci]
-			p.norm[mi] = p.cellNorm(cx[ci], cy[ci], p.effW[mi], p.effH[mi], cell.Area())
-		}
-	}); err != nil {
-		return math.NaN()
-	}
-
-	// Row index: for every grid row, the movable cells whose kernel support
-	// touches it, in ascending cell order. Built serially (no bell
-	// evaluations, just arithmetic) so the fill order is deterministic.
-	p.buildRowIndex(cx, cy)
-
-	// Pass 2: density splat, tiled by bin rows. Each row's bins are owned by
-	// exactly one worker, and within a row cells are visited in ascending
-	// order — the same per-bin accumulation order as a serial cell loop, so
-	// the sum per bin is bit-identical at every worker count.
-	for i := range p.dens {
-		p.dens[i] = 0
-	}
-	if err := p.pool.Run(p.ctx, g.NY, 2, func(loRow, hiRow int) {
-		for j := loRow; j < hiRow; j++ {
-			by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
-			for _, mi := range p.rowCells[p.rowStart[j]:p.rowStart[j+1]] {
-				norm := p.norm[mi]
-				if norm == 0 {
-					continue
-				}
-				ci := int(p.movable[mi])
-				x0 := cx[ci]
-				w := p.effW[mi]
-				py, _ := bell(cy[ci]-by, p.effH[mi], g.BinH)
-				if py == 0 {
-					continue
-				}
-				i0, i1 := p.xRange(x0, w)
-				for bi := i0; bi < i1; bi++ {
-					bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
-					px, _ := bell(x0-bx, w, g.BinW)
-					if px == 0 {
-						continue
-					}
-					p.dens[g.Index(bi, j)] += norm * px * py
-				}
-			}
-		}
-	}); err != nil {
-		return math.NaN()
-	}
-
-	// Pass 3: objective. Serial, in bin order, exactly as before.
-	n := 0.0
-	for i := range p.dens {
-		d := p.dens[i] - p.target[i]
-		p.diff[i] = d
-		n += d * d
-	}
-	if gx == nil && gy == nil {
+	n := p.Value(cx, cy)
+	if math.IsNaN(n) || (gx == nil && gy == nil) {
 		return n
 	}
-
-	// Pass 4: chain rule through each cell's kernel footprint. Each cell
-	// accumulates into its own gradient slot, so cells shard freely.
-	if err := p.pool.Run(p.ctx, len(p.movable), 64, func(lo, hi int) {
-		for mi := lo; mi < hi; mi++ {
-			ci := int(p.movable[mi])
-			w, h := p.effW[mi], p.effH[mi]
-			norm := p.norm[mi]
-			x0, y0 := cx[ci], cy[ci]
-			i0, i1, j0, j1 := p.footprint(x0, y0, w, h)
-			var dx, dy float64
-			for j := j0; j < j1; j++ {
-				by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
-				py, dpy := bell(y0-by, h, g.BinH)
-				if py == 0 && dpy == 0 {
-					continue
-				}
-				for bi := i0; bi < i1; bi++ {
-					bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
-					px, dpx := bell(x0-bx, w, g.BinW)
-					if px == 0 && dpx == 0 {
-						continue
-					}
-					d := p.diff[g.Index(bi, j)]
-					dx += 2 * d * norm * dpx * py
-					dy += 2 * d * norm * px * dpy
-				}
-			}
-			if gx != nil {
-				gx[ci] += dx
-			}
-			if gy != nil {
-				gy[ci] += dy
-			}
-		}
-	}); err != nil {
+	if !p.Gradient(gx, gy) {
 		return math.NaN()
 	}
 	return n
@@ -315,7 +229,8 @@ func (p *Potential) Eval(cx, cy []float64, gx, gy []float64) float64 {
 
 // ensureScratch sizes the movable-cell scratch on first use. Cell sizes and
 // the movable set are immutable for the lifetime of a Potential, so the
-// effective kernel sizes are computed once here.
+// per-cell bell constants and the fixed CSR table layout are computed once
+// here; only the table *contents* change per evaluation.
 func (p *Potential) ensureScratch() {
 	if p.movable != nil {
 		return
@@ -327,67 +242,21 @@ func (p *Potential) ensureScratch() {
 			p.movable = append(p.movable, int32(ci))
 		}
 	}
-	p.norm = make([]float64, len(p.movable))
-	p.effW = make([]float64, len(p.movable))
-	p.effH = make([]float64, len(p.movable))
+	n := len(p.movable)
+	p.norm = make([]float64, n)
+	p.tabX.init(n)
+	p.tabY.init(n)
 	for mi, ci := range p.movable {
-		p.effW[mi] = effSize(p.nl.Cells[ci].W, g.BinW)
-		p.effH[mi] = effSize(p.nl.Cells[ci].H, g.BinH)
+		capX := p.tabX.setConsts(mi, effSize(p.nl.Cells[ci].W, g.BinW), g.BinW)
+		capY := p.tabY.setConsts(mi, effSize(p.nl.Cells[ci].H, g.BinH), g.BinH)
+		p.tabX.off[mi+1] = p.tabX.off[mi] + int32(capX)
+		p.tabY.off[mi+1] = p.tabY.off[mi] + int32(capY)
 	}
+	p.tabX.p = make([]float64, p.tabX.off[n])
+	p.tabX.dp = make([]float64, p.tabX.off[n])
+	p.tabY.p = make([]float64, p.tabY.off[n])
+	p.tabY.dp = make([]float64, p.tabY.off[n])
 	p.rowStart = make([]int, g.NY+1)
-}
-
-// buildRowIndex fills rowStart/rowCells with, per grid row, the movable
-// cells whose kernel support overlaps it, in ascending movable order.
-func (p *Potential) buildRowIndex(cx, cy []float64) {
-	g := p.grid
-	for i := range p.rowStart {
-		p.rowStart[i] = 0
-	}
-	for mi, ci := range p.movable {
-		j0, j1 := p.yRange(cy[ci], p.effH[mi])
-		for j := j0; j < j1; j++ {
-			p.rowStart[j+1]++
-		}
-	}
-	total := 0
-	for j := 0; j < g.NY; j++ {
-		total += p.rowStart[j+1]
-		p.rowStart[j+1] = total
-	}
-	if cap(p.rowCells) < total {
-		p.rowCells = make([]int32, total)
-	}
-	p.rowCells = p.rowCells[:total]
-	fill := make([]int, g.NY)
-	copy(fill, p.rowStart[:g.NY])
-	for mi, ci := range p.movable {
-		j0, j1 := p.yRange(cy[ci], p.effH[mi])
-		for j := j0; j < j1; j++ {
-			p.rowCells[fill[j]] = int32(mi)
-			fill[j]++
-		}
-	}
-}
-
-// xRange returns the clamped bin columns covered by the kernel support of a
-// cell centered at x0; identical to footprint's i-range.
-func (p *Potential) xRange(x0, w float64) (i0, i1 int) {
-	g := p.grid
-	rx := w/2 + 2*g.BinW
-	i0 = int(math.Floor((x0 - rx - g.Region.Lo.X) / g.BinW))
-	i1 = int(math.Ceil((x0 + rx - g.Region.Lo.X) / g.BinW))
-	return clampInt(i0, 0, g.NX), clampInt(i1, 0, g.NX)
-}
-
-// yRange returns the clamped bin rows covered by the kernel support of a
-// cell centered at y0; identical to footprint's j-range.
-func (p *Potential) yRange(y0, h float64) (j0, j1 int) {
-	g := p.grid
-	ry := h/2 + 2*g.BinH
-	j0 = int(math.Floor((y0 - ry - g.Region.Lo.Y) / g.BinH))
-	j1 = int(math.Ceil((y0 + ry - g.Region.Lo.Y) / g.BinH))
-	return clampInt(j0, 0, g.NY), clampInt(j1, 0, g.NY)
 }
 
 func clampInt(v, lo, hi int) int {
@@ -407,54 +276,6 @@ func effSize(w, wb float64) float64 {
 		return wb
 	}
 	return w
-}
-
-// footprint returns the bin index ranges covered by the kernel support of a
-// cell centered at (x0, y0), clamped into the grid.
-func (p *Potential) footprint(x0, y0, w, h float64) (i0, i1, j0, j1 int) {
-	g := p.grid
-	rx := w/2 + 2*g.BinW
-	ry := h/2 + 2*g.BinH
-	return g.Range(geom.NewRect(x0-rx, y0-ry, x0+rx, y0+ry))
-}
-
-// footprintRaw is footprint without grid clamping; indices may be negative
-// or beyond the grid. Normalization uses it so that the per-cell scale does
-// not jump when a cell's kernel is clipped by the region boundary — that
-// jump would make the frozen-normalization gradient badly wrong near edges.
-func (p *Potential) footprintRaw(x0, y0, w, h float64) (i0, i1, j0, j1 int) {
-	g := p.grid
-	rx := w/2 + 2*g.BinW
-	ry := h/2 + 2*g.BinH
-	i0 = int(math.Floor((x0 - rx - g.Region.Lo.X) / g.BinW))
-	i1 = int(math.Ceil((x0 + rx - g.Region.Lo.X) / g.BinW))
-	j0 = int(math.Floor((y0 - ry - g.Region.Lo.Y) / g.BinH))
-	j1 = int(math.Ceil((y0 + ry - g.Region.Lo.Y) / g.BinH))
-	return i0, i1, j0, j1
-}
-
-// cellNorm computes the per-cell scale making the kernel integrate to the
-// cell area over the unclipped (virtual) footprint.
-func (p *Potential) cellNorm(x0, y0, w, h, area float64) float64 {
-	g := p.grid
-	i0, i1, j0, j1 := p.footprintRaw(x0, y0, w, h)
-	sum := 0.0
-	for j := j0; j < j1; j++ {
-		by := g.Region.Lo.Y + (float64(j)+0.5)*g.BinH
-		py, _ := bell(y0-by, h, g.BinH)
-		if py == 0 {
-			continue
-		}
-		for bi := i0; bi < i1; bi++ {
-			bx := g.Region.Lo.X + (float64(bi)+0.5)*g.BinW
-			px, _ := bell(x0-bx, w, g.BinW)
-			sum += px * py
-		}
-	}
-	if sum <= 0 {
-		return 0
-	}
-	return area / sum
 }
 
 // Grid returns the potential's bin grid.

@@ -28,6 +28,17 @@ type RunReport struct {
 	Workers         int     `json:"workers,omitempty"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 
+	// Incremental-evaluation effectiveness of the global-place engine.
+	// DirtyNetRatio is net recomputations over total per-net decisions
+	// (recomputations + reuses): 1.0 means every evaluation recomputed every
+	// net (no reuse), small values mean the epoch scheme proved most nets
+	// clean. FullRecomputes and DeltaRecomputes count whole objective
+	// evaluations by kind: ones that recomputed every incident net versus
+	// ones that reused at least one cached per-net result.
+	DirtyNetRatio   float64 `json:"dirty_net_ratio,omitempty"`
+	FullRecomputes  int64   `json:"full_recomputes,omitempty"`
+	DeltaRecomputes int64   `json:"delta_recomputes,omitempty"`
+
 	// Levels and ClusterRatio describe the multilevel V-cycle when it ran:
 	// Levels counts placement levels (1 = flat), ClusterRatio is the
 	// coarsest level's movable-cell count relative to the flat netlist.

@@ -45,6 +45,14 @@ type Options struct {
 	// accepted iterates, so without this hook a diverged-then-recovered
 	// solve shows up as nothing but a gap in iteration numbers.
 	OnEvent func(Event)
+	// ValueOnlyProbes makes the Armijo line search call f with a nil
+	// gradient slice for trial points, re-evaluating only the accepted
+	// iterate with its gradient. The Armijo test reads just the objective, so
+	// the iterate sequence is bit-identical either way for any deterministic
+	// f; the option exists because objectives with an incremental evaluator
+	// (the placement engine) answer value-only probes far cheaper than fused
+	// value+gradient ones. FuncEvals counts the extra gradient evaluation.
+	ValueOnlyProbes bool
 }
 
 // Event kinds reported through Options.OnEvent.
@@ -203,7 +211,11 @@ func Minimize(f Func, x []float64, opt Options) Result {
 			for i := range xTrial {
 				xTrial[i] = x[i] + alpha*d[i]
 			}
-			fNew = f(xTrial, gTrial)
+			if opt.ValueOnlyProbes {
+				fNew = f(xTrial, nil)
+			} else {
+				fNew = f(xTrial, gTrial)
+			}
 			res.FuncEvals++
 			// Reject non-finite trial objectives outright: an Inf (or a NaN
 			// compared against a NaN fx) must never be accepted, even when it
@@ -259,6 +271,13 @@ func Minimize(f Func, x []float64, opt Options) Result {
 		}
 		consecutive = 0
 
+		if opt.ValueOnlyProbes {
+			// The accepted trial was probed without its gradient; evaluate it
+			// now. A deterministic f returns the identical objective, so fNew
+			// stands and only gTrial is consumed.
+			f(xTrial, gTrial)
+			res.FuncEvals++
+		}
 		copy(gPrev, g)
 		copy(g, gTrial)
 		copy(x, xTrial)

@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// rosenbrockN is a deterministic multi-dimensional test objective whose
+// gradient fill is skipped when grad is nil, mirroring the placement
+// engine's value-only probe contract.
+func rosenbrockN(x, grad []float64) float64 {
+	f := 0.0
+	for i := 0; i+1 < len(x); i++ {
+		a := 1 - x[i]
+		b := x[i+1] - x[i]*x[i]
+		f += a*a + 100*b*b
+	}
+	if grad != nil {
+		for i := range grad {
+			grad[i] = 0
+		}
+		for i := 0; i+1 < len(x); i++ {
+			a := 1 - x[i]
+			b := x[i+1] - x[i]*x[i]
+			grad[i] += -2*a - 400*b*x[i]
+			grad[i+1] += 200 * b
+		}
+	}
+	return f
+}
+
+// TestValueOnlyProbesBitIdentical checks the headline claim of the option:
+// the accepted-iterate sequence, final point and objective are bit-identical
+// with probes evaluating the gradient or not — only the evaluation count
+// changes (one extra gradient evaluation per accepted step, many skipped
+// gradient fills per rejected trial).
+func TestValueOnlyProbesBitIdentical(t *testing.T) {
+	run := func(valueOnly bool) ([]float64, Result, []float64) {
+		x := []float64{-1.2, 1, 0.5, -0.7}
+		var iterF []float64
+		res := Minimize(rosenbrockN, x, Options{
+			MaxIter:         60,
+			GradTol:         1e-9,
+			ValueOnlyProbes: valueOnly,
+			Callback: func(iter int, f, gnorm float64) bool {
+				iterF = append(iterF, f)
+				return true
+			},
+		})
+		return x, res, iterF
+	}
+	xF, rF, fF := run(false)
+	xV, rV, fV := run(true)
+	if rF.F != rV.F || rF.Iters != rV.Iters || rF.Converged != rV.Converged {
+		t.Fatalf("results diverge: fused %+v vs value-only %+v", rF, rV)
+	}
+	for i := range xF {
+		if xF[i] != xV[i] {
+			t.Fatalf("x[%d] diverges: fused %v vs value-only %v", i, xF[i], xV[i])
+		}
+	}
+	if len(fF) != len(fV) {
+		t.Fatalf("iterate counts diverge: %d vs %d", len(fF), len(fV))
+	}
+	for i := range fF {
+		if fF[i] != fV[i] {
+			t.Fatalf("objective at iterate %d diverges: %v vs %v", i, fF[i], fV[i])
+		}
+	}
+}
+
+// TestValueOnlyProbesSkipsGradients verifies the option actually skips
+// gradient fills on rejected trials and re-evaluates accepted iterates.
+func TestValueOnlyProbesSkipsGradients(t *testing.T) {
+	var nilProbes, gradEvals int
+	f := func(x, grad []float64) float64 {
+		if grad == nil {
+			nilProbes++
+		} else {
+			gradEvals++
+		}
+		return rosenbrockN(x, grad)
+	}
+	x := []float64{-1.2, 1}
+	res := Minimize(f, x, Options{MaxIter: 30, GradTol: 1e-9, ValueOnlyProbes: true})
+	if nilProbes == 0 {
+		t.Fatal("no value-only probes happened")
+	}
+	if gradEvals < res.Iters {
+		t.Fatalf("only %d gradient evaluations for %d accepted iterates", gradEvals, res.Iters)
+	}
+	if got := nilProbes + gradEvals; got != res.FuncEvals {
+		t.Fatalf("FuncEvals %d != observed evaluations %d", res.FuncEvals, got)
+	}
+	if math.IsNaN(res.F) {
+		t.Fatal("solve produced NaN")
+	}
+}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
-	"repro/internal/wirelength"
 )
 
 // randProblem builds a random netlist, placement and core for the parallel
@@ -49,15 +48,23 @@ func randProblem(seed int64, nCells, nNets int) (*netlist.Netlist, *netlist.Plac
 	return nl, pl, core
 }
 
+// testEngine builds a fresh engine at γ=4 ready for eval, mirroring the
+// state the solver sees mid-schedule.
+func testEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) *engine {
+	e := newEngine(nl, pl, core, o)
+	e.setGamma(4)
+	return e
+}
+
 // evalAt runs one objective+gradient evaluation of a fresh engine with the
 // given worker count and returns the objective and the gradient vector.
-func evalAt(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, workers int, lambda float64, noCache bool) (float64, []float64, []float64) {
-	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: workers})
+func evalAt(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, workers int, lambda float64, noReuse bool) (float64, []float64, []float64) {
+	e := testEngine(nl, pl, core, Options{Workers: workers})
 	e.lambda = lambda
 	v := make([]float64, e.nVars)
 	e.initVars(v)
 	grad := make([]float64, e.nVars)
-	e.noCache = noCache
+	e.noReuse = noReuse
 	f := e.eval(v, grad)
 	return f, grad, v
 }
@@ -65,7 +72,7 @@ func evalAt(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, workers
 // TestParallelGradientMatchesSerial is the property test behind the
 // engine's determinism claim: across random netlists and worker counts, the
 // objective and every gradient component of the parallel evaluation equal
-// the serial evaluation bit-for-bit — with and without the per-net cache.
+// the serial evaluation bit-for-bit — with and without incremental reuse.
 func TestParallelGradientMatchesSerial(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		nCells := 60 + int(seed)*37
@@ -73,16 +80,16 @@ func TestParallelGradientMatchesSerial(t *testing.T) {
 		nl, pl, core := randProblem(seed, nCells, nNets)
 		fSer, gSer, _ := evalAt(nl, pl, core, 1, 0.7, false)
 		for _, workers := range []int{2, 3, 4, 8} {
-			for _, noCache := range []bool{false, true} {
-				f, g, _ := evalAt(nl, pl, core, workers, 0.7, noCache)
+			for _, noReuse := range []bool{false, true} {
+				f, g, _ := evalAt(nl, pl, core, workers, 0.7, noReuse)
 				if f != fSer {
-					t.Fatalf("seed %d workers %d noCache=%v: objective %v != serial %v",
-						seed, workers, noCache, f, fSer)
+					t.Fatalf("seed %d workers %d noReuse=%v: objective %v != serial %v",
+						seed, workers, noReuse, f, fSer)
 				}
 				for i := range g {
 					if g[i] != gSer[i] {
-						t.Fatalf("seed %d workers %d noCache=%v: grad[%d] %v != serial %v",
-							seed, workers, noCache, i, g[i], gSer[i])
+						t.Fatalf("seed %d workers %d noReuse=%v: grad[%d] %v != serial %v",
+							seed, workers, noReuse, i, g[i], gSer[i])
 					}
 				}
 			}
@@ -90,46 +97,47 @@ func TestParallelGradientMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestNetCacheIsExact verifies a cache-hit re-evaluation returns the
-// bit-identical objective and gradient, that hits actually occur on a
-// repeated evaluation, and that a γ change invalidates every entry.
-func TestNetCacheIsExact(t *testing.T) {
+// TestDeltaReuseIsExact verifies an all-clean re-evaluation returns the
+// bit-identical objective and gradient without recomputing any net, that
+// reuse actually happens, and that a γ change dirties every net again.
+func TestDeltaReuseIsExact(t *testing.T) {
 	nl, pl, core := randProblem(42, 150, 200)
-	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 2})
+	e := testEngine(nl, pl, core, Options{Workers: 2})
 	e.lambda = 0.5
 	v := make([]float64, e.nVars)
 	e.initVars(v)
 	g1 := make([]float64, e.nVars)
 	f1 := e.eval(v, g1)
-	if hits := e.cacheHits.Load(); hits != 0 {
-		t.Fatalf("cold evaluation had %d cache hits", hits)
+	recomps := e.netRecomps.Load()
+	if recomps == 0 {
+		t.Fatal("cold evaluation recomputed no nets")
 	}
-	misses := e.cacheMisses.Load()
 
 	g2 := make([]float64, e.nVars)
 	f2 := e.eval(v, g2)
 	if f2 != f1 {
-		t.Fatalf("cached objective %v != original %v", f2, f1)
+		t.Fatalf("reused objective %v != original %v", f2, f1)
 	}
 	for i := range g1 {
 		if g2[i] != g1[i] {
-			t.Fatalf("cached grad[%d] %v != original %v", i, g2[i], g1[i])
+			t.Fatalf("reused grad[%d] %v != original %v", i, g2[i], g1[i])
 		}
 	}
-	if e.cacheHits.Load() == 0 {
-		t.Fatal("repeated evaluation at the same point produced no cache hits")
+	if e.netReuses.Load() == 0 {
+		t.Fatal("repeated evaluation at the same point reused no nets")
 	}
-	if e.cacheMisses.Load() != misses {
-		t.Fatalf("repeated evaluation recomputed %d nets", e.cacheMisses.Load()-misses)
+	if e.netRecomps.Load() != recomps {
+		t.Fatalf("repeated evaluation recomputed %d nets",
+			e.netRecomps.Load()-recomps)
 	}
 
 	// γ change: every net must be re-evaluated.
 	e.setGamma(2)
 	g3 := make([]float64, e.nVars)
 	e.eval(v, g3)
-	if e.cacheMisses.Load() != 2*misses {
-		t.Fatalf("γ change did not invalidate the cache: %d misses, want %d",
-			e.cacheMisses.Load(), 2*misses)
+	if e.netRecomps.Load() != 2*recomps {
+		t.Fatalf("γ change did not dirty every net: %d recomputes, want %d",
+			e.netRecomps.Load(), 2*recomps)
 	}
 }
 
@@ -163,7 +171,7 @@ func TestPlaceWorkersBitIdentical(t *testing.T) {
 // one.
 func TestEvalCancellationPoisons(t *testing.T) {
 	nl, pl, core := randProblem(3, 80, 100)
-	e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 4})
+	e := testEngine(nl, pl, core, Options{Workers: 4})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	e.ctx = ctx
@@ -176,33 +184,6 @@ func TestEvalCancellationPoisons(t *testing.T) {
 	}
 }
 
-// BenchmarkLineSearchProbe measures the cost of the repeated objective
-// evaluations a line-search probe performs, with the per-net cache on and
-// off. The cached variant models the step-size probe / rollback pattern
-// (re-evaluation at an unchanged iterate within one γ epoch).
-func BenchmarkLineSearchProbe(b *testing.B) {
-	for _, cached := range []bool{true, false} {
-		name := "cached"
-		if !cached {
-			name = "uncached"
-		}
-		b.Run(name, func(b *testing.B) {
-			nl, pl, core := randProblem(9, 400, 600)
-			e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: 1})
-			e.lambda = 0.5
-			e.noCache = !cached
-			v := make([]float64, e.nVars)
-			e.initVars(v)
-			g := make([]float64, e.nVars)
-			e.eval(v, g)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				e.eval(v, g)
-			}
-		})
-	}
-}
-
 // BenchmarkEvalWorkers measures one full objective+gradient evaluation at
 // several worker counts (the speedup here is what `make bench` sweeps at
 // the whole-flow level).
@@ -210,9 +191,9 @@ func BenchmarkEvalWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
 			nl, pl, core := randProblem(9, 400, 600)
-			e := newEngine(nl, pl, core, wirelength.NewWA(4), Options{Workers: workers})
+			e := testEngine(nl, pl, core, Options{Workers: workers})
 			e.lambda = 0.5
-			e.noCache = true
+			e.noReuse = true
 			v := make([]float64, e.nVars)
 			e.initVars(v)
 			g := make([]float64, e.nVars)

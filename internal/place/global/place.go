@@ -99,14 +99,35 @@ type Result struct {
 	// Workers is the resolved worker count the parallel engine ran with
 	// (Options.Workers after the GOMAXPROCS default is applied).
 	Workers int
-	// NetCacheHits and NetCacheMisses count per-net wirelength evaluations
-	// served from the incremental cache versus recomputed. Hits come from
-	// repeated objective evaluations at unchanged pin coordinates within one
-	// γ epoch (step-size probes, health-guard rollbacks, fixed-pin nets).
-	NetCacheHits   int64
-	NetCacheMisses int64
+	// NetRecomputes and NetReuses count per-net, per-evaluation outcomes of
+	// the incremental (delta) evaluator: a recompute ran the wirelength
+	// kernel because a pin of the net moved (or γ changed); a reuse served
+	// the stored per-net value — and, for gradient evaluations, the stored
+	// per-pin gradients — because nothing the net depends on changed.
+	NetRecomputes int64
+	NetReuses     int64
+	// FullEvals and DeltaEvals classify whole objective evaluations: full
+	// means every net recomputed (cold start, γ change, line-search probes
+	// that move all variables), delta means at least one net was reused
+	// (gradient evaluation at an accepted iterate, rollback re-evaluation,
+	// moves touching a variable subset).
+	FullEvals  int64
+	DeltaEvals int64
 	// Diagnostics records the resilience events of the run.
 	Diagnostics Diagnostics
+}
+
+// DirtyNetRatio returns net recomputations over total per-net decisions
+// (recomputations + reuses), the headline effectiveness number of the
+// incremental evaluator: 1.0 means no reuse ever happened, values near zero
+// mean the epoch scheme proved almost every net clean. Returns 0 when no
+// evaluation ran.
+func (r Result) DirtyNetRatio() float64 {
+	total := r.NetRecomputes + r.NetReuses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.NetRecomputes) / float64(total)
 }
 
 // Diagnostics records the numerical-health and cancellation events of one
@@ -165,12 +186,8 @@ func Place(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Option
 // wraps pipeline.ErrDiverged.
 func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) (Result, error) {
 	o.fillDefaults()
-	var model wirelength.Model
 	switch o.WLModel {
-	case "wa":
-		model = wirelength.NewWA(1)
-	case "lse":
-		model = wirelength.NewLSE(1)
+	case "wa", "lse":
 	default:
 		return Result{}, fmt.Errorf("global: unknown wirelength model %q", o.WLModel)
 	}
@@ -179,7 +196,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, c
 		InitQuadratic(nl, pl, core)
 	}
 
-	e := newEngine(nl, pl, core, model, o)
+	e := newEngine(nl, pl, core, o)
 	if e.nVars == 0 {
 		return Result{HPWL: pl.HPWL(nl)}, nil
 	}
@@ -190,13 +207,13 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, c
 // variables first, then the y variables. In hard alignment mode several
 // cells map to one variable (column x, group base y).
 type engine struct {
-	nl    *netlist.Netlist
-	pl    *netlist.Placement
-	core  *geom.Core
-	o     Options
-	model wirelength.Model
-	grid  geom.Grid
-	pot   *density.Potential
+	nl   *netlist.Netlist
+	pl   *netlist.Placement
+	core *geom.Core
+	o    Options
+	lse  bool // o.WLModel == "lse"; WA otherwise
+	grid geom.Grid
+	pot  *density.Potential
 
 	// Per-cell variable mapping: index into the x/y variable arrays, or -1
 	// for fixed cells. yOff is added to the y variable's value.
@@ -219,38 +236,68 @@ type engine struct {
 	cxFull, cyFull []float64
 	gxFull, gyFull []float64
 
-	// Parallel execution: the worker pool, the run context it polls, and one
-	// wirelength-model clone per worker (models carry scratch buffers and are
-	// not concurrency-safe).
-	pool     *par.Pool
-	ctx      context.Context
-	wlModels []wirelength.Model
+	// Parallel execution: the worker pool and the run context it polls. The
+	// SoA wirelength kernels are pure functions writing caller-owned CSR
+	// slots, so no per-worker model clones exist anymore.
+	pool *par.Pool
+	ctx  context.Context
 
-	// Per-net CSR pin buffers: netOff[ni] is the first slot of net ni in the
-	// flat pin arrays. curX/curY hold the gathered pin coordinates of the
-	// evaluation in flight; pinGX/pinGY the per-pin model gradients.
-	netOff     []int32
-	curX, curY []float64
-	pinGX      []float64
-	pinGY      []float64
-	netVal     []float64
+	// Flat SoA netlist view in CSR-by-net layout, built once per engine:
+	// netOff[ni] is the first pin slot of net ni; pinCell, pinDX, pinDY are
+	// the per-pin cell index (-1 for pad pins) and offsets; netWeight the
+	// per-net weight. Iterating these flat arrays replaces the pointer-chasing
+	// walk over nl.Nets[ni].Pins in the hot loops.
+	netOff    []int32
+	pinCell   []int32
+	pinDX     []float64
+	pinDY     []float64
+	netWeight []float64
 
-	// Per-net incremental cache: cacheX/cacheY are the pin coordinates the
-	// net was last evaluated at, netVal/pinGX/pinGY the results. A cached
-	// entry is valid when netEpoch matches the engine epoch (bumped on every
-	// γ change, i.e. by the λ-schedule) and, for gradient evaluations,
-	// netGrad is set. Reuse is exact: the cached numbers were produced by
-	// identical arithmetic at identical inputs, so caching never perturbs
-	// the placement.
-	cacheX, cacheY []float64
-	netEpoch       []int64
-	netGrad        []bool
-	epoch          int64
-	noCache        bool // benchmarks disable the cache to measure its value
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
+	// Wirelength kernel state, CSR-parallel to the pin layout: gathered pin
+	// coordinates, the per-pin exponential scratch of the last value
+	// evaluation, per-net axis states and values, and per-pin gradients.
+	// Ownership: inside evalWL's parallel pass a worker touches only the
+	// slots of the nets in its chunk; the serial reduction then reads
+	// everything in net order.
+	curX, curY            []float64
+	expPX, expNX          []float64
+	expPY, expNY          []float64
+	stX, stY              []wirelength.AxisState
+	netVal                []float64
+	pinGX, pinGY          []float64
+	netValClean           []bool // netVal/curX/curY/exp*/st* hold results at current coords+γ
+	netGradClean          []bool // pinGX/pinGY hold gradients at current coords+γ
+	gamma                 float64
+	netRecomps, netReuses atomic.Int64
+	fullEvals, deltaEvals int64
+	noReuse               bool // tests/benchmarks disable delta reuse to measure it
 
-	// Term-gradient scratch.
+	// Incremental-evaluation state: vPrev is the variable vector the full
+	// coordinate arrays currently reflect; refresh diffs a new vector against
+	// it and marks exactly the incident nets dirty through the var→nets CSR
+	// (varNetOff/varNets, deduplicated) and updates the cells of varCellOff/
+	// varCells. wlAllDirty is the γ-epoch hammer: SetGamma invalidates every
+	// net at once without walking the incidence lists.
+	vPrev       []float64
+	havePrev    bool
+	wlAllDirty  bool
+	varNetOff   []int32
+	varNets     []int32
+	varCellOff  []int32
+	varCells    []int32
+	changedVars []int32 // refresh scratch: indices of moved variables
+
+	// Density term cache: dgx/dgy hold the (unweighted) density gradients of
+	// the last density gradient pass; densVal the objective. densClean means
+	// densVal is the potential's value at the current coordinates (and the
+	// potential's internal tables/residuals match them); densGradClean means
+	// dgx/dgy match too. λ is applied at fold time, so λ changes between
+	// outer stages never invalidate the cache.
+	dgx, dgy                 []float64
+	densVal                  float64
+	densClean, densGradClean bool
+
+	// Term-gradient scratch (soft alignment).
 	sgx, sgy []float64
 
 	hard          bool
@@ -258,8 +305,8 @@ type engine struct {
 	funcEvals     int
 }
 
-func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, model wirelength.Model, o Options) *engine {
-	e := &engine{nl: nl, pl: pl, core: core, o: o, model: model}
+func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Options) *engine {
+	e := &engine{nl: nl, pl: pl, core: core, o: o, lse: o.WLModel == "lse"}
 	e.hard = o.AlignMode == AlignHard && len(o.Groups) > 0
 
 	nc := nl.NumCells()
@@ -345,51 +392,172 @@ func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, mode
 	e.gyFull = make([]float64, nc)
 	e.sgx = make([]float64, nc)
 	e.sgy = make([]float64, nc)
+	e.dgx = make([]float64, nc)
+	e.dgy = make([]float64, nc)
 	for i := range nl.Cells {
 		e.xFull[i] = pl.X[i]
 		e.yFull[i] = pl.Y[i]
+		e.cxFull[i] = pl.X[i] + nl.Cells[i].W/2
+		e.cyFull[i] = pl.Y[i] + nl.Cells[i].H/2
 	}
 
-	// Worker pool and per-worker wirelength models. Workers==1 (or a
-	// one-core GOMAXPROCS) keeps every hot path inline on the calling
-	// goroutine — the exact serial code path.
+	// Worker pool. Workers==1 (or a one-core GOMAXPROCS) keeps every hot
+	// path inline on the calling goroutine — the exact serial code path.
 	e.pool = par.New(o.Workers)
 	e.ctx = context.Background()
-	e.wlModels = make([]wirelength.Model, e.pool.Workers())
-	e.wlModels[0] = model
-	for i := 1; i < len(e.wlModels); i++ {
-		e.wlModels[i] = model.Clone()
-	}
 
-	// CSR pin buffers and the per-net cache.
-	e.netOff = make([]int32, len(nl.Nets)+1)
+	// Flat SoA netlist view: CSR pin layout plus per-net weights.
+	nNets := len(nl.Nets)
+	e.netOff = make([]int32, nNets+1)
 	for ni := range nl.Nets {
 		e.netOff[ni+1] = e.netOff[ni] + int32(nl.Nets[ni].Degree())
 	}
-	totalPins := int(e.netOff[len(nl.Nets)])
+	totalPins := int(e.netOff[nNets])
+	e.pinCell = make([]int32, totalPins)
+	e.pinDX = make([]float64, totalPins)
+	e.pinDY = make([]float64, totalPins)
+	e.netWeight = make([]float64, nNets)
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		e.netWeight[ni] = net.Weight
+		off := int(e.netOff[ni])
+		for k, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == netlist.NoCell {
+				e.pinCell[off+k] = -1
+			} else {
+				e.pinCell[off+k] = int32(pin.Cell)
+			}
+			e.pinDX[off+k] = pin.DX
+			e.pinDY[off+k] = pin.DY
+		}
+	}
+
+	// Wirelength kernel state.
 	e.curX = make([]float64, totalPins)
 	e.curY = make([]float64, totalPins)
+	e.expPX = make([]float64, totalPins)
+	e.expNX = make([]float64, totalPins)
+	e.expPY = make([]float64, totalPins)
+	e.expNY = make([]float64, totalPins)
 	e.pinGX = make([]float64, totalPins)
 	e.pinGY = make([]float64, totalPins)
-	e.cacheX = make([]float64, totalPins)
-	e.cacheY = make([]float64, totalPins)
-	e.netVal = make([]float64, len(nl.Nets))
-	e.netEpoch = make([]int64, len(nl.Nets))
-	e.netGrad = make([]bool, len(nl.Nets))
-	for i := range e.netEpoch {
-		e.netEpoch[i] = -1
-	}
+	e.stX = make([]wirelength.AxisState, nNets)
+	e.stY = make([]wirelength.AxisState, nNets)
+	e.netVal = make([]float64, nNets)
+	e.netValClean = make([]bool, nNets)
+	e.netGradClean = make([]bool, nNets)
+
+	e.vPrev = make([]float64, e.nVars)
+	e.changedVars = make([]int32, 0, e.nVars)
+	e.buildIncidence()
 	return e
 }
 
-// setGamma propagates a new smoothing parameter to every worker's model and
-// invalidates the per-net cache: cached values are exact only at the γ they
-// were computed with, so each step of the λ/γ-schedule starts a new epoch.
-func (e *engine) setGamma(g float64) {
-	for _, m := range e.wlModels {
-		m.SetGamma(g)
+// buildIncidence constructs the two deduplicated CSR incidence maps the
+// delta evaluator diffs through: variable → cells (to update the full
+// coordinate arrays of exactly the moved cells) and variable → nets (to mark
+// exactly the affected nets dirty). In hard alignment mode one variable can
+// own many cells and a net can touch one variable through several pins; the
+// per-variable net lists carry each net once.
+func (e *engine) buildIncidence() {
+	nl := e.nl
+	// var → cells.
+	cellCnt := make([]int32, e.nVars+1)
+	for c := range nl.Cells {
+		if e.xVar[c] < 0 {
+			continue
+		}
+		cellCnt[e.xVar[c]+1]++
+		cellCnt[e.nx+e.yVar[c]+1]++
 	}
-	e.epoch++
+	for i := 0; i < e.nVars; i++ {
+		cellCnt[i+1] += cellCnt[i]
+	}
+	e.varCellOff = cellCnt
+	e.varCells = make([]int32, cellCnt[e.nVars])
+	fill := make([]int32, e.nVars)
+	copy(fill, cellCnt[:e.nVars])
+	for c := range nl.Cells {
+		if e.xVar[c] < 0 {
+			continue
+		}
+		xv, yv := e.xVar[c], e.nx+e.yVar[c]
+		e.varCells[fill[xv]] = int32(c)
+		fill[xv]++
+		e.varCells[fill[yv]] = int32(c)
+		fill[yv]++
+	}
+
+	// var → nets, deduplicated per (variable, net) pair. Nets are visited in
+	// ascending order, so "last net appended to this variable" detects
+	// duplicates without a set.
+	netCnt := make([]int32, e.nVars+1)
+	last := make([]int32, e.nVars)
+	for i := range last {
+		last[i] = -1
+	}
+	countVar := func(v int, ni int32) {
+		if last[v] != ni {
+			last[v] = ni
+			netCnt[v+1]++
+		}
+	}
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if net.Degree() < 2 {
+			continue
+		}
+		for _, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == netlist.NoCell || e.xVar[pin.Cell] < 0 {
+				continue
+			}
+			countVar(e.xVar[pin.Cell], int32(ni))
+			countVar(e.nx+e.yVar[pin.Cell], int32(ni))
+		}
+	}
+	for i := 0; i < e.nVars; i++ {
+		netCnt[i+1] += netCnt[i]
+	}
+	e.varNetOff = netCnt
+	e.varNets = make([]int32, netCnt[e.nVars])
+	for i := range last {
+		last[i] = -1
+	}
+	netFill := make([]int32, e.nVars)
+	copy(netFill, netCnt[:e.nVars])
+	appendVar := func(v int, ni int32) {
+		if last[v] != ni {
+			last[v] = ni
+			e.varNets[netFill[v]] = ni
+			netFill[v]++
+		}
+	}
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if net.Degree() < 2 {
+			continue
+		}
+		for _, pid := range net.Pins {
+			pin := nl.Pin(pid)
+			if pin.Cell == netlist.NoCell || e.xVar[pin.Cell] < 0 {
+				continue
+			}
+			appendVar(e.xVar[pin.Cell], int32(ni))
+			appendVar(e.nx+e.yVar[pin.Cell], int32(ni))
+		}
+	}
+}
+
+// setGamma installs a new smoothing parameter and invalidates every net at
+// once: stored values and exponentials are exact only at the γ they were
+// computed with, so each step of the λ/γ-schedule dirties the whole
+// wirelength state. The density cache is untouched — it does not depend
+// on γ.
+func (e *engine) setGamma(g float64) {
+	e.gamma = g
+	e.wlAllDirty = true
 }
 
 // rowHOf returns the cell height of a group (uniform in row-based designs).
@@ -451,26 +619,85 @@ func (e *engine) initVars(v []float64) {
 	e.clampVars(v)
 }
 
-// unpack refreshes the full coordinate arrays from the variable vector.
-func (e *engine) unpack(v []float64) {
-	for c := range e.nl.Cells {
-		if e.xVar[c] < 0 {
-			continue
+// refresh moves the engine's full-coordinate arrays and dirty-net state to
+// the variable vector v. It is the only entry point that may change xFull/
+// yFull/cxFull/cyFull: diffing v against vPrev identifies exactly the moved
+// variables, their cells are updated through the var→cells CSR, and their
+// nets marked dirty through the var→nets CSR. Every consumer of the full
+// arrays (wirelength kernels, density, alignment, tracing) therefore sees
+// coordinates whose staleness is tracked, which is what makes delta
+// evaluation exact rather than heuristic.
+func (e *engine) refresh(v []float64) {
+	if !e.havePrev || e.noReuse {
+		copy(e.vPrev, v)
+		e.havePrev = true
+		e.wlAllDirty = true
+		e.densClean, e.densGradClean = false, false
+		for c := range e.nl.Cells {
+			if e.xVar[c] >= 0 {
+				e.updateCell(c, v)
+			}
 		}
-		e.xFull[c] = v[e.xVar[c]]
-		e.yFull[c] = v[e.nx+e.yVar[c]] + e.yOff[c]
+	} else {
+		// Two-phase diff: find the moved variables first, then mark their
+		// nets. Line-search probes move every variable (the CG direction is
+		// dense), and for those the per-variable net walks cost more than
+		// they save — when most variables moved, blanket-dirtying is both
+		// cheaper and provably equivalent, since recomputing a clean net
+		// reproduces its cached bits exactly.
+		changed := e.changedVars[:0]
+		for i, vi := range v {
+			//placelint:ignore floateq bitwise change detection: an unchanged bit pattern provably leaves every downstream result identical, and NaN≠NaN conservatively re-dirties
+			if vi == e.vPrev[i] {
+				continue
+			}
+			e.vPrev[i] = vi
+			changed = append(changed, int32(i))
+			for _, c := range e.varCells[e.varCellOff[i]:e.varCellOff[i+1]] {
+				e.updateCell(int(c), v)
+			}
+		}
+		e.changedVars = changed
+		if len(changed) > 0 {
+			e.densClean, e.densGradClean = false, false
+			if 4*len(changed) > e.nVars {
+				e.wlAllDirty = true
+			} else if !e.wlAllDirty {
+				for _, i := range changed {
+					for _, ni := range e.varNets[e.varNetOff[i]:e.varNetOff[i+1]] {
+						e.netValClean[ni] = false
+						e.netGradClean[ni] = false
+					}
+				}
+			}
+		}
 	}
-	for i := range e.nl.Cells {
-		cell := &e.nl.Cells[i]
-		e.cxFull[i] = e.xFull[i] + cell.W/2
-		e.cyFull[i] = e.yFull[i] + cell.H/2
+	if e.wlAllDirty {
+		for i := range e.netValClean {
+			e.netValClean[i] = false
+			e.netGradClean[i] = false
+		}
+		e.wlAllDirty = false
 	}
 }
 
-// eval computes the objective and gradient at v.
+// updateCell recomputes one cell's corner and center coordinates from v.
+func (e *engine) updateCell(c int, v []float64) {
+	cell := &e.nl.Cells[c]
+	e.xFull[c] = v[e.xVar[c]]
+	e.yFull[c] = v[e.nx+e.yVar[c]] + e.yOff[c]
+	e.cxFull[c] = e.xFull[c] + cell.W/2
+	e.cyFull[c] = e.yFull[c] + cell.H/2
+}
+
+// eval computes the objective and, when grad is non-nil, the gradient at v.
+// Value-only calls (grad == nil) are what the optimizer's line-search probes
+// issue under ValueOnlyProbes; the delta evaluator then reuses per-net
+// values, the density objective and the stored gradients wherever the
+// incidence diff proves them current.
 func (e *engine) eval(v, grad []float64) float64 {
 	e.funcEvals++
-	e.unpack(v)
+	e.refresh(v)
 	withGrad := grad != nil
 	if withGrad {
 		for i := range e.gxFull {
@@ -479,13 +706,42 @@ func (e *engine) eval(v, grad []float64) float64 {
 		}
 	}
 
-	wl := e.evalWL(withGrad, 1)
+	reuse0 := e.netReuses.Load()
+	recomp0 := e.netRecomps.Load()
+	wl := e.evalWL(withGrad)
+	if e.netReuses.Load() > reuse0 {
+		e.deltaEvals++
+	} else if e.netRecomps.Load() > recomp0 {
+		e.fullEvals++
+	}
+
 	var dens float64
 	if e.lambda > 0 {
-		if withGrad {
-			dens = e.evalDensity(e.lambda)
+		if e.densClean {
+			dens = e.densVal
 		} else {
-			dens = e.pot.Eval(e.cxFull, e.cyFull, nil, nil)
+			dens = e.pot.Value(e.cxFull, e.cyFull)
+			if !math.IsNaN(dens) {
+				e.densVal = dens
+				e.densClean = true
+			}
+			e.densGradClean = false
+		}
+		if withGrad && !math.IsNaN(dens) {
+			if !e.densGradClean {
+				for i := range e.dgx {
+					e.dgx[i] = 0
+					e.dgy[i] = 0
+				}
+				if !e.pot.Gradient(e.dgx, e.dgy) {
+					return math.NaN()
+				}
+				e.densGradClean = true
+			}
+			for i := range e.dgx {
+				e.gxFull[i] += e.lambda * e.dgx[i]
+				e.gyFull[i] += e.lambda * e.dgy[i]
+			}
 		}
 	}
 	var align float64
@@ -508,120 +764,119 @@ func (e *engine) eval(v, grad []float64) float64 {
 	return wl + e.lambda*dens + e.alpha*align
 }
 
-// evalWL computes the smooth wirelength and accumulates weight·grad into the
-// full per-cell gradient arrays.
+// evalWL computes the smooth wirelength and, when withGrad is set,
+// accumulates the weighted per-pin gradients into the full per-cell arrays.
 //
-// The evaluation is sharded by net: workers gather pin coordinates and run
-// the smooth model independently into per-net CSR slots (curX/curY, netVal,
-// pinGX/pinGY), consulting the per-net cache first. The weighted objective
-// sum and the scatter into the per-cell gradients then run serially in net
-// order, which reproduces the historical serial loop's floating-point
-// accumulation order exactly — the parallel phase only ever computes
-// per-net quantities, so the result is bit-identical at every worker count.
-func (e *engine) evalWL(withGrad bool, weight float64) float64 {
-	nl := e.nl
-	if err := e.pool.RunWorker(e.ctx, len(nl.Nets), 32, func(worker, lo, hi int) {
-		model := e.wlModels[worker]
-		var hits, misses int64
+// The evaluation is sharded by net through the SoA kernels of package
+// wirelength: dirty nets gather their pin coordinates from the flat CSR
+// view, run WAValueAxis/LSEValueAxis into their own exp/state slots, and —
+// when a gradient is wanted — WAGradAxis/LSEGradAxis into their pin-gradient
+// slots. Clean nets are skipped entirely; a net whose value is clean but
+// whose gradient is stale gets a gradient-only pass from the stored
+// exponentials, with no math.Exp call. The weighted objective sum and the
+// scatter into per-cell gradients then run serially in net order, so the
+// result is bit-identical at every worker count and to a from-scratch
+// evaluation (the kernels are pure functions of stored inputs).
+func (e *engine) evalWL(withGrad bool) float64 {
+	nNets := len(e.netVal)
+	// Hoist the hot slices and scalars out of the worker closure: the engine
+	// holds atomic counters, so repeated field loads through e would not be
+	// registerized inside the net loop.
+	netOff, pinCell, pinDX, pinDY := e.netOff, e.pinCell, e.pinDX, e.pinDY
+	curX, curY, xFull, yFull := e.curX, e.curY, e.xFull, e.yFull
+	expPX, expNX, expPY, expNY := e.expPX, e.expNX, e.expPY, e.expNY
+	netValClean, netGradClean := e.netValClean, e.netGradClean
+	netVal, stX, stY := e.netVal, e.stX, e.stY
+	pinGX, pinGY := e.pinGX, e.pinGY
+	lse, gamma := e.lse, e.gamma
+	if err := e.pool.Run(e.ctx, nNets, 32, func(lo, hi int) {
+		var recomputed, reused int64
 		for ni := lo; ni < hi; ni++ {
-			net := &nl.Nets[ni]
-			p := net.Degree()
-			if p < 2 {
+			off, end := int(netOff[ni]), int(netOff[ni+1])
+			if end-off < 2 {
 				continue
 			}
-			off := int(e.netOff[ni])
-			xs := e.curX[off : off+p]
-			ys := e.curY[off : off+p]
-			for k, pid := range net.Pins {
-				pin := nl.Pin(pid)
-				if pin.Cell == netlist.NoCell {
-					xs[k] = pin.DX
-					ys[k] = pin.DY
+			if netValClean[ni] && (!withGrad || netGradClean[ni]) {
+				reused++
+				continue
+			}
+			xs, ys := curX[off:end], curY[off:end]
+			epx, enx := expPX[off:end], expNX[off:end]
+			epy, eny := expPY[off:end], expNY[off:end]
+			if !netValClean[ni] {
+				recomputed++
+				for k := off; k < end; k++ {
+					if c := pinCell[k]; c >= 0 {
+						curX[k] = xFull[c] + pinDX[k]
+						curY[k] = yFull[c] + pinDY[k]
+					} else {
+						curX[k] = pinDX[k]
+						curY[k] = pinDY[k]
+					}
+				}
+				if lse {
+					sx, wx := wirelength.LSEValueAxis(xs, epx, enx, gamma)
+					sy, wy := wirelength.LSEValueAxis(ys, epy, eny, gamma)
+					stX[ni], stY[ni] = sx, sy
+					netVal[ni] = wx + wy
 				} else {
-					xs[k] = e.xFull[pin.Cell] + pin.DX
-					ys[k] = e.yFull[pin.Cell] + pin.DY
+					sx, wx := wirelength.WAValueAxis(xs, epx, enx, gamma)
+					sy, wy := wirelength.WAValueAxis(ys, epy, eny, gamma)
+					stX[ni], stY[ni] = sx, sy
+					netVal[ni] = wx + wy
 				}
+				netValClean[ni] = true
+				netGradClean[ni] = false
+			} else {
+				// Value current, gradient stale: the gradient-only fast path
+				// below reconstructs it from the stored exponentials.
+				reused++
 			}
-			if !e.noCache && e.netEpoch[ni] == e.epoch && (e.netGrad[ni] || !withGrad) &&
-				coordsEqual(xs, e.cacheX[off:off+p]) && coordsEqual(ys, e.cacheY[off:off+p]) {
-				// netVal and pinGX/pinGY still hold this net's results.
-				hits++
-				continue
-			}
-			misses++
-			var gx, gy []float64
 			if withGrad {
-				gx = e.pinGX[off : off+p]
-				gy = e.pinGY[off : off+p]
-				for k := range gx {
-					gx[k] = 0
-					gy[k] = 0
+				if lse {
+					wirelength.LSEGradAxis(epx, enx, stX[ni], pinGX[off:end])
+					wirelength.LSEGradAxis(epy, eny, stY[ni], pinGY[off:end])
+				} else {
+					wirelength.WAGradAxis(xs, epx, enx, stX[ni], gamma, pinGX[off:end])
+					wirelength.WAGradAxis(ys, epy, eny, stY[ni], gamma, pinGY[off:end])
 				}
+				netGradClean[ni] = true
 			}
-			e.netVal[ni] = model.EvalAxis(xs, gx) + model.EvalAxis(ys, gy)
-			copy(e.cacheX[off:off+p], xs)
-			copy(e.cacheY[off:off+p], ys)
-			e.netEpoch[ni] = e.epoch
-			e.netGrad[ni] = withGrad
 		}
-		e.cacheHits.Add(hits)
-		e.cacheMisses.Add(misses)
+		e.netRecomps.Add(recomputed)
+		e.netReuses.Add(reused)
 	}); err != nil {
 		// Cancelled mid-evaluation: poison the objective so the optimizer
 		// rejects the iterate; its own context poll stops the solve next.
+		// Any nets marked clean hold valid results — cleanliness is per net,
+		// not per evaluation — but the poisoned objective is discarded.
 		return math.NaN()
 	}
 
 	// Serial reduction in net order.
+	netWeight, xVar := e.netWeight, e.xVar
+	gxFull, gyFull := e.gxFull, e.gyFull
 	total := 0.0
-	for ni := range nl.Nets {
-		net := &nl.Nets[ni]
-		p := net.Degree()
-		if p < 2 {
+	for ni := 0; ni < nNets; ni++ {
+		off, end := int(netOff[ni]), int(netOff[ni+1])
+		if end-off < 2 {
 			continue
 		}
-		total += net.Weight * e.netVal[ni]
+		total += netWeight[ni] * netVal[ni]
 		if !withGrad {
 			continue
 		}
-		off := int(e.netOff[ni])
-		w := net.Weight * weight
-		for k, pid := range net.Pins {
-			pin := nl.Pin(pid)
-			if pin.Cell == netlist.NoCell || e.xVar[pin.Cell] < 0 {
+		w := netWeight[ni]
+		for k := off; k < end; k++ {
+			c := pinCell[k]
+			if c < 0 || xVar[c] < 0 {
 				continue
 			}
-			e.gxFull[pin.Cell] += w * e.pinGX[off+k]
-			e.gyFull[pin.Cell] += w * e.pinGY[off+k]
+			gxFull[c] += w * pinGX[k]
+			gyFull[c] += w * pinGY[k]
 		}
 	}
 	return total
-}
-
-// coordsEqual reports exact (bitwise, modulo ±0) equality of two coordinate
-// slices. NaNs compare unequal, which conservatively forces re-evaluation.
-func coordsEqual(a, b []float64) bool {
-	for i := range a {
-		//placelint:ignore floateq deliberately bitwise: the caller needs "identical iterate", not "close iterate"
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// evalDensity computes the density penalty and adds weight·grad.
-func (e *engine) evalDensity(weight float64) float64 {
-	for i := range e.sgx {
-		e.sgx[i] = 0
-		e.sgy[i] = 0
-	}
-	n := e.pot.Eval(e.cxFull, e.cyFull, e.sgx, e.sgy)
-	for i := range e.sgx {
-		e.gxFull[i] += weight * e.sgx[i]
-		e.gyFull[i] += weight * e.sgy[i]
-	}
-	return n
 }
 
 // evalAlign computes the soft alignment energy and adds weight·grad.
@@ -664,6 +919,12 @@ func (e *engine) innerOpts(ctx context.Context, rec *obs.Recorder, outer int, st
 		GradTol:  1e-7,
 		StepInit: stepInit,
 		Ctx:      ctx,
+		// Line-search probes ask for the objective alone; the delta
+		// evaluator then skips every per-pin gradient kernel and the density
+		// chain-rule pass for them, and the accepted iterate's gradient comes
+		// mostly from stored exponentials and tables. The iterate sequence is
+		// bit-identical to fused probes (see opt.Options.ValueOnlyProbes).
+		ValueOnlyProbes: true,
 	}
 	if rec.Active() {
 		oo.Callback = func(iter int, f, gnorm float64) bool {
@@ -700,12 +961,12 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 
 	// Auto-scale λ (and α in soft mode) from first-order balance.
 	e.lambda, e.alpha = 0, 0
-	e.unpack(v)
+	e.refresh(v)
 	for i := range e.gxFull {
 		e.gxFull[i] = 0
 		e.gyFull[i] = 0
 	}
-	e.evalWL(true, 1)
+	e.evalWL(true)
 	wlNorm := gradL1(e.gxFull, e.gyFull, nl)
 
 	dgx := make([]float64, len(e.gxFull))
@@ -806,7 +1067,7 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 			sinceBest++
 		}
 		if e.o.Trace != nil {
-			e.unpack(v)
+			e.refresh(v)
 			e.o.Trace(TracePoint{
 				Outer:     outer,
 				HPWL:      pl.HPWL(nl),
@@ -818,7 +1079,7 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 			})
 		}
 		if rec.Active() {
-			e.unpack(v)
+			e.refresh(v)
 			rec.OuterIter("global", obs.TrajectoryPoint{
 				Outer:     outer,
 				Inner:     r.Iters,
@@ -870,15 +1131,19 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 
 	e.commit(v)
 	pl.ClampInto(nl, e.core.Region)
-	e.unpack(v)
+	e.refresh(v)
 	res.HPWL = pl.HPWL(nl)
 	res.Overflow = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
 	res.AlignRMS = AlignmentScore(e.o.Groups, e.core.RowH(), e.cxFull, e.cyFull)
 	res.Workers = e.pool.Workers()
-	res.NetCacheHits = e.cacheHits.Load()
-	res.NetCacheMisses = e.cacheMisses.Load()
-	rec.Add("global/net_cache_hits", res.NetCacheHits)
-	rec.Add("global/net_cache_misses", res.NetCacheMisses)
+	res.NetRecomputes = e.netRecomps.Load()
+	res.NetReuses = e.netReuses.Load()
+	res.FullEvals = e.fullEvals
+	res.DeltaEvals = e.deltaEvals
+	rec.Add("global/net_recomputes", res.NetRecomputes)
+	rec.Add("global/net_reuses", res.NetReuses)
+	rec.Add("global/evals_full", res.FullEvals)
+	rec.Add("global/evals_delta", res.DeltaEvals)
 	rec.Logf(obs.Debug, "global",
 		"done: %d outer iters, %d evals, HPWL %.0f, overflow %.3f, align RMS %.3f",
 		res.OuterIters, res.FuncEvals, res.HPWL, res.Overflow, res.AlignRMS)

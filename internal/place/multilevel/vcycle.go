@@ -168,6 +168,13 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placement, c
 			OuterIters: gRes.OuterIters,
 			Seconds:    sw.Seconds(),
 		})
+		// res.Global carries the finest solve's quality numbers, but the
+		// incremental-evaluation counters aggregate across every level: the
+		// dirty-net ratio of the whole V-cycle is what the run report surfaces.
+		gRes.NetRecomputes += res.Global.NetRecomputes
+		gRes.NetReuses += res.Global.NetReuses
+		gRes.FullEvals += res.Global.FullEvals
+		gRes.DeltaEvals += res.Global.DeltaEvals
 		res.Global = gRes
 		if gErr != nil {
 			// The failing level committed its best iterate; push it down so

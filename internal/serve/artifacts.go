@@ -49,8 +49,11 @@ func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep 
 			"legalize": res.Times.Legalize.Seconds(),
 			"detail":   res.Times.Detail.Seconds(),
 		},
-		Counters:   rec.Counters(),
-		Trajectory: rec.Trajectory(),
+		Counters:        rec.Counters(),
+		Trajectory:      rec.Trajectory(),
+		DirtyNetRatio:   res.GlobalResult.DirtyNetRatio(),
+		FullRecomputes:  res.GlobalResult.FullEvals,
+		DeltaRecomputes: res.GlobalResult.DeltaEvals,
 	}
 	if res.Multilevel != nil {
 		out.Levels = res.Multilevel.Levels

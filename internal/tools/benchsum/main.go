@@ -5,19 +5,23 @@
 // the global stage), and prints the speedup table that EXPERIMENTS.md
 // quotes.
 //
-// With -linesearch it instead parses `go test -bench BenchmarkLineSearchProbe`
-// output and writes the cached-vs-uncached probe cost (and their ratio) as a
-// small JSON summary, so the caching win is committed next to the sweep.
+// With -kernels it instead parses `go test -bench` output for the SoA
+// solver-kernel microbenchmarks (BenchmarkWAGradSoA in internal/wirelength,
+// BenchmarkDensitySoA in internal/density) and writes their ns/op table as a
+// dpplace-kernel-bench/v1 JSON summary, so the kernel baseline is committed
+// next to the sweep.
 //
-// With -diff it compares two run reports (typically the same `make bench`
-// artifact from two commits): it prints the per-stage wall-clock deltas and
-// the final-HPWL delta, then exits 1 when the new run's total stage time
-// regressed by more than 10% — the CI bench gate.
+// With -diff it compares two reports of the same schema (typically the same
+// `make bench` artifact from two commits). For run reports it prints the
+// per-stage wall-clock deltas and the final-HPWL delta, then exits 1 when
+// the new run's total stage time regressed by more than 10%. For kernel
+// reports it prints per-benchmark ns/op deltas and exits 1 when any kernel
+// regressed by more than 10% — the CI kernel gate.
 //
 // Usage:
 //
 //	go run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json ...
-//	go run ./internal/tools/benchsum -linesearch bench.txt BENCH_linesearch_cache.json
+//	go run ./internal/tools/benchsum -kernels bench.txt BENCH_kernels.json
 //	go run ./internal/tools/benchsum -diff old.json new.json
 package main
 
@@ -42,7 +46,7 @@ type report struct {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchsum BENCH_workers_*.json | benchsum -linesearch bench.txt out.json")
+		fmt.Fprintln(os.Stderr, "usage: benchsum BENCH_workers_*.json | benchsum -kernels bench.txt out.json | benchsum -diff old.json new.json")
 		os.Exit(2)
 	}
 	if os.Args[1] == "-diff" {
@@ -60,12 +64,12 @@ func main() {
 		}
 		return
 	}
-	if os.Args[1] == "-linesearch" {
+	if os.Args[1] == "-kernels" {
 		if len(os.Args) != 4 {
-			fmt.Fprintln(os.Stderr, "usage: benchsum -linesearch bench.txt out.json")
+			fmt.Fprintln(os.Stderr, "usage: benchsum -kernels bench.txt out.json")
 			os.Exit(2)
 		}
-		if err := lineSearchSummary(os.Args[2], os.Args[3]); err != nil {
+		if err := kernelSummary(os.Args[2], os.Args[3]); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
 			os.Exit(1)
 		}
@@ -134,6 +138,15 @@ func diffReports(oldPath, newPath string) (ok bool, err error) {
 	newRep, err := loadRaw(newPath)
 	if err != nil {
 		return false, err
+	}
+	oldSchema, _ := oldRep["schema"].(string)
+	newSchema, _ := newRep["schema"].(string)
+	if oldSchema == kernelBenchSchema || newSchema == kernelBenchSchema {
+		if oldSchema != newSchema {
+			return false, fmt.Errorf("schema mismatch: %s is %q, %s is %q",
+				oldPath, oldSchema, newPath, newSchema)
+		}
+		return diffKernels(oldRep, newRep)
 	}
 	oldStages := stageSeconds(oldRep)
 	newStages := stageSeconds(newRep)
@@ -218,42 +231,43 @@ func pctDelta(old, cur float64) float64 {
 	return (cur - old) / old * 100
 }
 
-// lineSearchSummary parses `go test -bench` output for the cached and
-// uncached BenchmarkLineSearchProbe variants and writes their ns/op and the
-// cached-probe speedup as JSON.
-func lineSearchSummary(benchPath, outPath string) error {
+// kernelBenchSchema identifies the SoA kernel-microbenchmark JSON layout.
+const kernelBenchSchema = "dpplace-kernel-bench/v1"
+
+// kernelSummary parses `go test -bench` output for the SoA solver-kernel
+// microbenchmarks (BenchmarkWAGradSoA, BenchmarkDensitySoA) and writes their
+// ns/op table as JSON, one entry per sub-benchmark.
+func kernelSummary(benchPath, outPath string) error {
 	f, err := os.Open(benchPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	// e.g. "BenchmarkLineSearchProbe/cached-8   3518   319498 ns/op ..."
-	row := regexp.MustCompile(`^BenchmarkLineSearchProbe/(cached|uncached)\S*\s+\d+\s+([\d.]+) ns/op`)
+	// e.g. "BenchmarkWAGradSoA/soa-grad-reuse-8   3518   319498 ns/op ..."
+	// The trailing -N is the GOMAXPROCS suffix; it is absent on single-CPU
+	// runs, so it is matched optionally and stripped from the name.
+	row := regexp.MustCompile(`^Benchmark(WAGradSoA|DensitySoA)/(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
 	nsPerOp := map[string]float64{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		if m := row.FindStringSubmatch(sc.Text()); m != nil {
-			v, err := strconv.ParseFloat(m[2], 64)
+			v, err := strconv.ParseFloat(m[3], 64)
 			if err != nil {
 				return fmt.Errorf("%s: %w", benchPath, err)
 			}
-			nsPerOp[m[1]] = v
+			nsPerOp[m[1]+"/"+m[2]] = v
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	cached, uncached := nsPerOp["cached"], nsPerOp["uncached"]
-	if cached <= 0 || uncached <= 0 {
-		return fmt.Errorf("%s: missing BenchmarkLineSearchProbe cached/uncached rows", benchPath)
+	if len(nsPerOp) == 0 {
+		return fmt.Errorf("%s: no BenchmarkWAGradSoA/BenchmarkDensitySoA rows", benchPath)
 	}
 	out := map[string]any{
-		"schema":         "dpplace-linesearch-bench/v1",
-		"cached_ns_op":   cached,
-		"uncached_ns_op": uncached,
-		"cached_speedup": uncached / cached,
-		"benchmark":      "BenchmarkLineSearchProbe (internal/place/global)",
-		"what_it_models": "re-evaluation of an unchanged iterate within one γ epoch (line-search probe / health-guard rollback)",
+		"schema":     kernelBenchSchema,
+		"ns_op":      nsPerOp,
+		"benchmarks": "BenchmarkWAGradSoA (internal/wirelength), BenchmarkDensitySoA (internal/density)",
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -263,9 +277,76 @@ func lineSearchSummary(benchPath, outPath string) error {
 	if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("line-search probe: cached %.0f ns/op, uncached %.0f ns/op, speedup %.2f\n",
-		cached, uncached, uncached/cached)
+	names := make([]string, 0, len(nsPerOp))
+	for n := range nsPerOp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-36s %12.0f ns/op\n", n, nsPerOp[n])
+	}
 	return nil
+}
+
+// diffKernels compares two dpplace-kernel-bench/v1 reports benchmark by
+// benchmark and reports whether every kernel is within the slowdown budget.
+// Benchmarks present on only one side are printed but never gate (renames
+// must not brick CI); budget violations on shared benchmarks do.
+func diffKernels(oldRep, newRep map[string]any) (ok bool, err error) {
+	oldNs := nsOpTable(oldRep)
+	newNs := nsOpTable(newRep)
+	if len(oldNs) == 0 || len(newNs) == 0 {
+		return false, fmt.Errorf("a kernel report has no ns_op table")
+	}
+	names := make([]string, 0, len(oldNs)+len(newNs))
+	for n := range oldNs {
+		names = append(names, n)
+	}
+	for n := range newNs {
+		if _, dup := oldNs[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-36s %12s %12s %8s\n", "kernel", "old[ns/op]", "new[ns/op]", "delta")
+	worst, worstName := 0.0, ""
+	for _, n := range names {
+		o, hasOld := oldNs[n]
+		nw, hasNew := newNs[n]
+		switch {
+		case !hasOld:
+			fmt.Printf("%-36s %12s %12.0f %8s\n", n, "-", nw, "new")
+		case !hasNew:
+			fmt.Printf("%-36s %12.0f %12s %8s\n", n, o, "-", "gone")
+		default:
+			d := pctDelta(o, nw)
+			fmt.Printf("%-36s %12.0f %12.0f %7.1f%%\n", n, o, nw, d)
+			if d > worst {
+				worst, worstName = d, n
+			}
+		}
+	}
+	if worst > slowdownBudget*100 {
+		fmt.Printf("FAIL: %s regressed %.1f%% (budget %.0f%%)\n",
+			worstName, worst, slowdownBudget*100)
+		return false, nil
+	}
+	fmt.Printf("OK: every kernel within the %.0f%% budget\n", slowdownBudget*100)
+	return true, nil
+}
+
+// nsOpTable extracts the per-benchmark ns/op map of a kernel report.
+func nsOpTable(raw map[string]any) map[string]float64 {
+	tab, _ := raw["ns_op"].(map[string]any)
+	out := make(map[string]float64, len(tab))
+	//placelint:ignore maporder copying into a map; insertion order cannot be observed
+	for n, v := range tab {
+		if s, isNum := v.(float64); isNum {
+			out[n] = s
+		}
+	}
+	return out
 }
 
 // load reads one run report, requiring the workers count and the global

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into dir under name and returns the full path.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runReport builds a minimal dpplace-run-report/v1 JSON body.
+func runReport(workers int, stages map[string]float64, hpwlFinal float64) string {
+	raw := map[string]any{
+		"schema":        "dpplace-run-report/v1",
+		"workers":       workers,
+		"stage_seconds": stages,
+		"hpwl":          map[string]any{"final": hpwlFinal},
+	}
+	b, err := json.Marshal(raw)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestKernelSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "bench.txt", strings.Join([]string{
+		"goos: linux",
+		"BenchmarkWAGradSoA/soa-8         \t    3518\t    319498 ns/op\t  0 B/op",
+		"BenchmarkWAGradSoA/soa-grad-reuse\t   36012\t     32563 ns/op",
+		"BenchmarkDensitySoA/value-only-8 \t    3201\t    324420.5 ns/op",
+		"BenchmarkUnrelated/thing-8       \t     100\t      1000 ns/op",
+		"PASS",
+	}, "\n"))
+	out := filepath.Join(dir, "kernels.json")
+	if err := kernelSummary(bench, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := loadRaw(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := raw["schema"].(string); s != kernelBenchSchema {
+		t.Fatalf("schema = %q, want %q", s, kernelBenchSchema)
+	}
+	ns := nsOpTable(raw)
+	want := map[string]float64{
+		"WAGradSoA/soa":            319498,
+		"WAGradSoA/soa-grad-reuse": 32563,
+		"DensitySoA/value-only":    324420.5,
+	}
+	if len(ns) != len(want) {
+		t.Fatalf("ns_op has %d entries (%v), want %d", len(ns), ns, len(want))
+	}
+	for n, v := range want {
+		if ns[n] != v {
+			t.Errorf("ns_op[%q] = %v, want %v", n, ns[n], v)
+		}
+	}
+}
+
+func TestKernelSummaryNoRows(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "bench.txt", "PASS\nok\n")
+	err := kernelSummary(bench, filepath.Join(dir, "out.json"))
+	if err == nil || !strings.Contains(err.Error(), "no Benchmark") {
+		t.Fatalf("err = %v, want a no-rows error", err)
+	}
+}
+
+func TestDiffReportsStages(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json",
+		runReport(1, map[string]float64{"global": 10, "detail": 1}, 5000))
+	within := writeFile(t, dir, "within.json",
+		runReport(1, map[string]float64{"global": 10.5, "detail": 1}, 5100))
+	regressed := writeFile(t, dir, "regressed.json",
+		runReport(1, map[string]float64{"global": 14, "detail": 1}, 5100))
+
+	if ok, err := diffReports(oldPath, within); err != nil || !ok {
+		t.Fatalf("within-budget diff: ok=%v err=%v, want ok", ok, err)
+	}
+	if ok, err := diffReports(oldPath, regressed); err != nil || ok {
+		t.Fatalf("regressed diff: ok=%v err=%v, want gate failure without error", ok, err)
+	}
+	// A missing baseline skips the gate rather than failing it.
+	if ok, err := diffReports(filepath.Join(dir, "nope.json"), within); err != nil || !ok {
+		t.Fatalf("missing baseline: ok=%v err=%v, want ok", ok, err)
+	}
+}
+
+func TestDiffReportsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	run := writeFile(t, dir, "run.json",
+		runReport(1, map[string]float64{"global": 10}, 0))
+	kern := writeFile(t, dir, "kern.json",
+		`{"schema":"`+kernelBenchSchema+`","ns_op":{"WAGradSoA/soa":100}}`)
+	if _, err := diffReports(run, kern); err == nil ||
+		!strings.Contains(err.Error(), "schema mismatch") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestDiffKernelsGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json",
+		`{"schema":"`+kernelBenchSchema+`","ns_op":{"WAGradSoA/soa":100,"DensitySoA/value-only":200,"WAGradSoA/gone":5}}`)
+	within := writeFile(t, dir, "within.json",
+		`{"schema":"`+kernelBenchSchema+`","ns_op":{"WAGradSoA/soa":105,"DensitySoA/value-only":190,"WAGradSoA/new":7}}`)
+	regressed := writeFile(t, dir, "regressed.json",
+		`{"schema":"`+kernelBenchSchema+`","ns_op":{"WAGradSoA/soa":120,"DensitySoA/value-only":200}}`)
+
+	// New and gone benchmarks print but never gate; 5% is within budget.
+	if ok, err := diffReports(oldPath, within); err != nil || !ok {
+		t.Fatalf("within-budget kernels: ok=%v err=%v, want ok", ok, err)
+	}
+	// A 20% single-kernel regression fails even with the total improved.
+	if ok, err := diffReports(oldPath, regressed); err != nil || ok {
+		t.Fatalf("regressed kernel: ok=%v err=%v, want gate failure without error", ok, err)
+	}
+}
+
+func TestLoadRequiresSweepFields(t *testing.T) {
+	dir := t.TempDir()
+	good := writeFile(t, dir, "good.json",
+		runReport(4, map[string]float64{"global": 2.5}, 0))
+	r, err := load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.workers != 4 || r.global != 2.5 {
+		t.Fatalf("load = workers %d global %v, want 4 / 2.5", r.workers, r.global)
+	}
+
+	noWorkers := writeFile(t, dir, "nw.json",
+		`{"stage_seconds":{"global":2.5}}`)
+	if _, err := load(noWorkers); err == nil ||
+		!strings.Contains(err.Error(), "workers") {
+		t.Fatalf("err = %v, want missing-workers error", err)
+	}
+	noGlobal := writeFile(t, dir, "ng.json",
+		`{"workers":2,"stage_seconds":{"detail":0.1}}`)
+	if _, err := load(noGlobal); err == nil ||
+		!strings.Contains(err.Error(), "global") {
+		t.Fatalf("err = %v, want missing-global error", err)
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if d := pctDelta(0, 5); d != 0 {
+		t.Fatalf("pctDelta(0,5) = %v, want 0", d)
+	}
+	if d := pctDelta(10, 12); d != 20 {
+		t.Fatalf("pctDelta(10,12) = %v, want 20", d)
+	}
+}

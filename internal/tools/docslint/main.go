@@ -1,8 +1,12 @@
 // Command docslint enforces the repository's documentation bar without any
 // external linter dependency: every package must carry a package-level doc
 // comment, and every exported top-level identifier (types, functions,
-// methods, grouped consts/vars) must be documented. `make docs-lint` runs it
-// over the whole module and fails the build on violations.
+// methods, grouped consts/vars) must be documented. Files that opt in with a
+// `//docslint:kerneldoc` directive additionally require every exported
+// symbol they declare to be named in the package doc comment — hot-path
+// kernel files are an API surface the package page must introduce. `make
+// docs-lint` runs it over the whole module and fails the build on
+// violations.
 //
 // Usage:
 //
@@ -90,7 +94,7 @@ func lintTree(root string) ([]string, error) {
 }
 
 // lintDir parses the non-test files of one directory and reports every
-// missing doc comment.
+// missing doc comment, plus every kerneldoc violation (see lintKernelDoc).
 func lintDir(dir string) ([]string, error) {
 	fset := token.NewFileSet()
 	entries, err := os.ReadDir(dir)
@@ -100,6 +104,7 @@ func lintDir(dir string) ([]string, error) {
 	var files []*ast.File
 	hasPkgDoc := false
 	pkgName := ""
+	pkgDoc := ""
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -113,6 +118,7 @@ func lintDir(dir string) ([]string, error) {
 		pkgName = f.Name.Name
 		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
 			hasPkgDoc = true
+			pkgDoc += f.Doc.Text() + "\n"
 		}
 	}
 	if len(files) == 0 {
@@ -130,8 +136,94 @@ func lintDir(dir string) ([]string, error) {
 		for _, decl := range f.Decls {
 			violations = append(violations, lintDecl(fset, decl)...)
 		}
+		if hasKernelDocDirective(f) {
+			violations = append(violations, lintKernelDoc(fset, f, pkgDoc)...)
+		}
 	}
 	return violations, nil
+}
+
+// hasKernelDocDirective reports whether the file opts into the kerneldoc
+// check with a `//docslint:kerneldoc` directive comment.
+func hasKernelDocDirective(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == "//docslint:kerneldoc" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lintKernelDoc enforces the kernel-file documentation contract: a file
+// carrying //docslint:kerneldoc holds hot-path kernels whose exported
+// symbols form an API surface the package doc must introduce — a reader
+// landing on the package page has to find the kernel entry points without
+// spelunking the file. Every exported top-level identifier declared in the
+// file must therefore be named somewhere in the package doc comment.
+func lintKernelDoc(fset *token.FileSet, f *ast.File, pkgDoc string) []string {
+	var violations []string
+	check := func(pos token.Pos, what, name string) {
+		if kernelDocMentions(pkgDoc, name) {
+			return
+		}
+		p := fset.Position(pos)
+		violations = append(violations, fmt.Sprintf(
+			"%s:%d: exported %s %s in a kerneldoc file is not named in the package doc",
+			p.Filename, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods ride on their receiver type's mention; only package-level
+			// functions are independent entry points.
+			if d.Recv == nil && d.Name.IsExported() {
+				check(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() {
+						check(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() {
+							check(n.Pos(), "const/var", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// kernelDocMentions reports whether doc names the identifier as a whole
+// word: a mention of WAValueAxis must not satisfy a check for ValueAxis.
+func kernelDocMentions(doc, name string) bool {
+	for rest := doc; ; {
+		i := strings.Index(rest, name)
+		if i < 0 {
+			return false
+		}
+		beforeOK := i == 0 || !isIdentChar(rest[i-1])
+		after := i + len(name)
+		afterOK := after >= len(rest) || !isIdentChar(rest[after])
+		if beforeOK && afterOK {
+			return true
+		}
+		rest = rest[i+1:]
+	}
+}
+
+// isIdentChar reports whether b can appear in a Go identifier (ASCII view —
+// the symbols this check covers are exported Go names).
+func isIdentChar(b byte) bool {
+	return b == '_' || (b >= '0' && b <= '9') ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
 }
 
 // lintDecl reports exported top-level identifiers without a doc comment.

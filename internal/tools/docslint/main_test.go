@@ -9,31 +9,36 @@ import (
 	"repro/internal/tools/lintest"
 )
 
-// TestLintDirOnTestdata checks docslint against a seeded package through the
-// shared lintest harness: every missing-doc violation in testdata must be
-// reported at its annotated line, and documented (or unexported) symbols in
-// the same file guard against false positives.
+// TestLintDirOnTestdata checks docslint against seeded packages through the
+// shared lintest harness: every violation in testdata must be reported at
+// its annotated line, and documented (or unexported, or mentioned) symbols
+// in the same files guard against false positives. The kerneldoc package
+// exercises the //docslint:kerneldoc package-doc-mention check.
 func TestLintDirOnTestdata(t *testing.T) {
-	dir := filepath.Join("testdata", "missingdocs")
-	violations, err := lintDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	finds := make([]lintest.Finding, 0, len(violations))
-	for _, v := range violations {
-		parts := strings.SplitN(v, ":", 3)
-		if len(parts) != 3 {
-			t.Fatalf("malformed violation %q", v)
-		}
-		line, err := strconv.Atoi(parts[1])
-		if err != nil {
-			t.Fatalf("malformed violation %q: %v", v, err)
-		}
-		finds = append(finds, lintest.Finding{
-			File: filepath.Base(parts[0]),
-			Line: line,
-			Msg:  strings.TrimSpace(parts[2]),
+	for _, pkg := range []string{"missingdocs", "kerneldoc"} {
+		t.Run(pkg, func(t *testing.T) {
+			dir := filepath.Join("testdata", pkg)
+			violations, err := lintDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finds := make([]lintest.Finding, 0, len(violations))
+			for _, v := range violations {
+				parts := strings.SplitN(v, ":", 3)
+				if len(parts) != 3 {
+					t.Fatalf("malformed violation %q", v)
+				}
+				line, err := strconv.Atoi(parts[1])
+				if err != nil {
+					t.Fatalf("malformed violation %q: %v", v, err)
+				}
+				finds = append(finds, lintest.Finding{
+					File: filepath.Base(parts[0]),
+					Line: line,
+					Msg:  strings.TrimSpace(parts[2]),
+				})
+			}
+			lintest.Check(t, lintest.ParseWants(t, dir), finds)
 		})
 	}
-	lintest.Check(t, lintest.ParseWants(t, dir), finds)
 }

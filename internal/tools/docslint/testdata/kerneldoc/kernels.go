@@ -1,0 +1,31 @@
+// Package kerneldoc seeds the //docslint:kerneldoc check: its package doc
+// names MentionedKernel, MentionedState and MentionedLimit, so only the
+// unmentioned exported symbols in the directive-carrying file are flagged.
+package kerneldoc
+
+//docslint:kerneldoc
+
+// MentionedState is named in the package doc and carries its own doc.
+type MentionedState struct{}
+
+// HiddenState is documented here but never named in the package doc.
+type HiddenState struct{} // want "exported type HiddenState in a kerneldoc file is not named in the package doc"
+
+// MentionedKernel is named in the package doc.
+func MentionedKernel() {}
+
+// HiddenKernel is documented here but never named in the package doc.
+func HiddenKernel() {} // want "exported function HiddenKernel in a kerneldoc file is not named in the package doc"
+
+// Reduce rides on MentionedState's mention: methods are exempt.
+func (MentionedState) Reduce() {}
+
+// MentionedLimit is named in the package doc; HiddenLimit is not. The
+// mention of MentionedLimit must not satisfy a substring like Limit.
+const (
+	MentionedLimit = 8
+	HiddenLimit    = 9 // want "exported const/var HiddenLimit in a kerneldoc file is not named in the package doc"
+)
+
+// helper is unexported and exempt.
+func helper() {}

@@ -8,6 +8,14 @@
 // one net and accumulates the gradient with respect to each pin coordinate.
 // Smaller smoothing parameter γ means a tighter approximation but a harder
 // optimization landscape; placers anneal γ downward.
+//
+// Two forms of each smooth model exist. The Model interface (LSE, WA) owns
+// its scratch and is convenient for one-off evaluations. The flat SoA
+// kernels — WAValueAxis, WAGradAxis, LSEValueAxis, LSEGradAxis, with the
+// per-net AxisState summary — write the per-pin exponential terms into
+// caller-owned CSR buffers so the global-placement engine can store them and
+// later produce gradients without re-exponentiating (soa.go documents the
+// contract). Both forms are bit-identical at equal inputs and γ.
 package wirelength
 
 import "math"

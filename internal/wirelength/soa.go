@@ -1,0 +1,177 @@
+package wirelength
+
+import "math"
+
+//docslint:kerneldoc
+
+// The SoA kernels below are the flat, allocation-free form of the LSE and WA
+// models used by the global-placement engine's incremental evaluator
+// (internal/place/global). Where the Model interface owns its scratch, these
+// kernels write into caller-owned CSR slices so one evaluation's exponential
+// terms can be kept and reused by a later gradient-only pass:
+//
+//   - AxisState is the per-net, per-axis summary a value pass produces.
+//   - WAValueAxis / LSEValueAxis fill the caller's exp scratch (ep, en) and
+//     return the AxisState plus the axis wirelength.
+//   - WAGradAxis / LSEGradAxis turn a stored (xs, ep, en, AxisState) back
+//     into per-pin gradients without a single math.Exp call.
+//
+// Every kernel is a pure function of its arguments with a fixed operation
+// order, so results are bit-identical to the corresponding Model.EvalAxis
+// and independent of worker count. Two-pin nets (the majority in real
+// netlists) take a single-exponential fast path that produces the same bits
+// as the general loop because both pins share the exponent arguments 0 and
+// (min−max)/γ, and math.Exp(0) is exactly 1.
+
+// AxisState is the reusable per-net summary of one axis evaluation: the pin
+// extrema, the positive/negative exponential sums, and (WA only) the
+// coordinate-weighted sums. Together with the per-pin exp scratch written by
+// WAValueAxis/LSEValueAxis it is sufficient to reconstruct the axis gradient
+// exactly, which is what lets the engine's delta evaluator skip the value
+// recomputation for nets whose pins did not move.
+type AxisState struct {
+	Max, Min   float64 // pin extrema along the axis
+	SumP, SumN float64 // Σ e^{(x_i−max)/γ}, Σ e^{(min−x_i)/γ}
+	WSumP      float64 // Σ x_i·e^{(x_i−max)/γ} (WA value path only)
+	WSumN      float64 // Σ x_i·e^{(min−x_i)/γ} (WA value path only)
+}
+
+// WAValueAxis evaluates the weighted-average model along one axis for the
+// pin coordinates xs, storing e^{(x_i−max)/γ} into ep[i] and e^{(min−x_i)/γ}
+// into en[i] (both must have len(xs) slots). It returns the axis state and
+// the axis wirelength, bit-identical to WA.EvalAxis at the same γ.
+func WAValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
+	n := len(xs)
+	if n == 0 {
+		return AxisState{}, 0
+	}
+	maxV, minV := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	var sp, sn, xp, xn float64
+	if n == 2 {
+		// Both exponent arguments are 0 and (min−max)/γ; one Exp suffices.
+		// math.Exp(0) == 1 exactly and (min−max) is the identical subtraction
+		// the general loop performs, so the bits match it — including equal
+		// pins, where t = exp(0) = 1 covers all four slots.
+		t := math.Exp((minV - maxV) / gamma)
+		var e0p, e0n, e1p, e1n float64
+		if xs[0] > xs[1] {
+			e0p, e0n, e1p, e1n = 1, t, t, 1
+		} else {
+			e0p, e0n, e1p, e1n = t, 1, 1, t
+		}
+		ep[0], en[0] = e0p, e0n
+		ep[1], en[1] = e1p, e1n
+		sp = e0p + e1p
+		sn = e0n + e1n
+		xp = xs[0]*e0p + xs[1]*e1p
+		xn = xs[0]*e0n + xs[1]*e1n
+	} else {
+		for i, v := range xs {
+			// The extreme pins have exponent argument exactly ±0, and
+			// math.Exp(±0) is exactly 1 — a compare replaces those calls
+			// without changing a bit.
+			e1, e2 := 1.0, 1.0
+			//placelint:ignore floateq exact identity with the scan's max: v==maxV ⇒ (v−maxV)/γ is ±0 ⇒ Exp is exactly 1
+			if v != maxV {
+				e1 = math.Exp((v - maxV) / gamma)
+			}
+			//placelint:ignore floateq exact identity with the scan's min: v==minV ⇒ (minV−v)/γ is ±0 ⇒ Exp is exactly 1
+			if v != minV {
+				e2 = math.Exp((minV - v) / gamma)
+			}
+			ep[i] = e1
+			en[i] = e2
+			sp += e1
+			sn += e2
+			xp += v * e1
+			xn += v * e2
+		}
+	}
+	st := AxisState{Max: maxV, Min: minV, SumP: sp, SumN: sn, WSumP: xp, WSumN: xn}
+	return st, xp/sp - xn/sn
+}
+
+// WAGradAxis writes the weighted-average axis gradient for a net previously
+// evaluated by WAValueAxis into grad (len(xs) slots, overwritten — not
+// accumulated). xs, ep, en and st must be exactly the slices/state of that
+// value evaluation; no exponentials are recomputed.
+func WAGradAxis(xs, ep, en []float64, st AxisState, gamma float64, grad []float64) {
+	waMax := st.WSumP / st.SumP
+	waMin := st.WSumN / st.SumN
+	for i, v := range xs {
+		dMax := ep[i] / st.SumP * (1 + (v-waMax)/gamma)
+		dMin := en[i] / st.SumN * (1 - (v-waMin)/gamma)
+		grad[i] = dMax - dMin
+	}
+}
+
+// LSEValueAxis evaluates the log-sum-exp model along one axis, storing the
+// per-pin exponentials into ep/en exactly like WAValueAxis. It returns the
+// axis state (WSumP/WSumN stay zero — LSE does not need them) and the axis
+// wirelength, bit-identical to LSE.EvalAxis at the same γ.
+func LSEValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
+	n := len(xs)
+	if n == 0 {
+		return AxisState{}, 0
+	}
+	maxV, minV := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	var sp, sn float64
+	if n == 2 {
+		// Same single-exponential shortcut as WAValueAxis.
+		t := math.Exp((minV - maxV) / gamma)
+		var e0p, e0n, e1p, e1n float64
+		if xs[0] > xs[1] {
+			e0p, e0n, e1p, e1n = 1, t, t, 1
+		} else {
+			e0p, e0n, e1p, e1n = t, 1, 1, t
+		}
+		ep[0], en[0] = e0p, e0n
+		ep[1], en[1] = e1p, e1n
+		sp = e0p + e1p
+		sn = e0n + e1n
+	} else {
+		for i, v := range xs {
+			// Same extreme-pin shortcut as WAValueAxis: Exp(±0) is exactly 1.
+			e1, e2 := 1.0, 1.0
+			//placelint:ignore floateq exact identity with the scan's max: v==maxV ⇒ (v−maxV)/γ is ±0 ⇒ Exp is exactly 1
+			if v != maxV {
+				e1 = math.Exp((v - maxV) / gamma)
+			}
+			//placelint:ignore floateq exact identity with the scan's min: v==minV ⇒ (minV−v)/γ is ±0 ⇒ Exp is exactly 1
+			if v != minV {
+				e2 = math.Exp((minV - v) / gamma)
+			}
+			ep[i] = e1
+			en[i] = e2
+			sp += e1
+			sn += e2
+		}
+	}
+	wl := (maxV + gamma*math.Log(sp)) + (-minV + gamma*math.Log(sn))
+	return AxisState{Max: maxV, Min: minV, SumP: sp, SumN: sn}, wl
+}
+
+// LSEGradAxis writes the log-sum-exp axis gradient for a net previously
+// evaluated by LSEValueAxis into grad (overwritten, not accumulated), using
+// only the stored exponentials and sums.
+func LSEGradAxis(ep, en []float64, st AxisState, grad []float64) {
+	for i := range grad {
+		grad[i] = ep[i]/st.SumP - en[i]/st.SumN
+	}
+}

@@ -146,8 +146,11 @@ func TestWorkersBitIdentical(t *testing.T) {
 		if par.GlobalResult.Workers != workers {
 			t.Errorf("workers=%d run reports %d workers", workers, par.GlobalResult.Workers)
 		}
-		if par.GlobalResult.NetCacheHits == 0 {
-			t.Errorf("workers=%d run recorded no per-net cache hits", workers)
+		if par.GlobalResult.NetReuses == 0 {
+			t.Errorf("workers=%d run reused no per-net results", workers)
+		}
+		if r := par.GlobalResult.DirtyNetRatio(); r <= 0 || r >= 1 {
+			t.Errorf("workers=%d run has degenerate dirty-net ratio %v", workers, r)
 		}
 	}
 }
