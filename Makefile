@@ -9,8 +9,8 @@ COVER_FLOOR ?= 78
 BENCH_DIR ?= /tmp/dpplace-bench
 
 .PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
-	bench-workers bench-smoke bench-diff docs-lint lint lint-selftest \
-	metrics-lint serve-smoke
+	bench-workers bench-kernels bench-congestion bench-smoke bench-diff \
+	docs-lint lint lint-selftest metrics-lint serve-smoke
 
 all: check
 
@@ -100,6 +100,8 @@ bench:
 	$(MAKE) bench-workers
 	$(MAKE) bench-kernels
 	cp BENCH_kernels_new.json BENCH_kernels.json
+	$(MAKE) bench-congestion
+	cp BENCH_congestion_new.json BENCH_congestion.json
 
 # SoA solver-kernel microbenchmarks: measure the wirelength and density
 # kernels and summarize their ns/op table to BENCH_kernels_new.json
@@ -113,6 +115,21 @@ bench-kernels:
 		./internal/density | tee -a BENCH_kernels.txt
 	$(GO) run ./internal/tools/benchsum -kernels BENCH_kernels.txt \
 		BENCH_kernels_new.json
+
+# Routability bench: place the bench design with the congestion feedback
+# loop on and distill the routed-overflow/HPWL numbers into
+# BENCH_congestion_new.json (dpplace-congestion-bench/v1). `make bench`
+# promotes it to the committed BENCH_congestion.json baseline;
+# `make bench-smoke` diffs against that baseline instead, failing when
+# routed overflow regressed >10% at equal-or-better HPWL.
+bench-congestion:
+	@mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/dpgen -name bench -out $(BENCH_DIR) -seed 7 -bits 16 \
+		-units adder,regbank -random 600
+	$(GO) run ./cmd/dpplace -quiet -congestion \
+		-report $(BENCH_DIR)/BENCH_congestion_report.json $(BENCH_DIR)/bench.aux
+	$(GO) run ./internal/tools/benchsum -congestion \
+		$(BENCH_DIR)/BENCH_congestion_report.json BENCH_congestion_new.json
 
 # Worker-count sweep: place the same design at -workers 1,2,4,8, record one
 # run report each, then let benchsum fill parallel_speedup (global-stage
@@ -136,6 +153,9 @@ bench-smoke:
 	$(MAKE) bench-kernels
 	$(GO) run ./internal/tools/benchsum -diff BENCH_kernels.json \
 		BENCH_kernels_new.json
+	$(MAKE) bench-congestion
+	$(GO) run ./internal/tools/benchsum -diff BENCH_congestion.json \
+		BENCH_congestion_new.json
 
 # Regression gate between two recorded runs: compares OLD and NEW run
 # reports (dpplace-run-report/v1, e.g. two BENCH_structure_aware.json from
@@ -166,4 +186,5 @@ fuzz-smoke:
 serve-smoke:
 	@mkdir -p /tmp/dpplaced-smoke
 	$(GO) build -o /tmp/dpplaced-smoke/dpplaced ./cmd/dpplaced
-	$(GO) run ./internal/tools/servesmoke -bin /tmp/dpplaced-smoke/dpplaced
+	$(GO) run ./internal/tools/servesmoke -bin /tmp/dpplaced-smoke/dpplaced \
+		-data /tmp/dpplaced-smoke/data

@@ -9,6 +9,11 @@
 //
 // -json writes the report as machine-readable JSON (path "-" for stdout);
 // -v adds debug logging of the evaluation stages on stderr.
+//
+// Routed overflow is reported per bin, not just as a total: the JSON report
+// carries every nonzero bin of the routing grid (`routed_overflow_bins`) and
+// the text output lists the hottest ones, so the CI routability gate and the
+// EXPERIMENTS tables read congestion from this one code path.
 package main
 
 import (
@@ -17,11 +22,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"repro/internal/bookshelf"
 	"repro/internal/datapath"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/route"
 )
 
 func main() {
@@ -81,16 +88,19 @@ func run() int {
 	ext := datapath.Extract(d.Netlist, datapath.DefaultOptions())
 	align := alignmentOf(d, ext)
 
+	hotBins := overflowBins(&rep.Routed)
+
 	if *jsonPath != "" {
 		out := struct {
 			Design       string         `json:"design"`
 			Legal        bool           `json:"legal"`
 			LegalError   string         `json:"legal_error,omitempty"`
 			Metrics      metrics.Report `json:"metrics"`
+			OverflowBins []binOverflow  `json:"routed_overflow_bins,omitempty"`
 			Groups       int            `json:"groups"`
 			GroupedCells int            `json:"grouped_cells"`
 			AlignRMS     float64        `json:"align_rms"`
-		}{d.Netlist.Name, legalErr == nil, errString(legalErr), rep,
+		}{d.Netlist.Name, legalErr == nil, errString(legalErr), rep, hotBins,
 			len(ext.Groups), ext.NumGrouped(), align}
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -112,13 +122,56 @@ func run() int {
 	fmt.Printf("HPWL:             %.0f\n", rep.HPWL)
 	fmt.Printf("Steiner WL:       %.0f\n", rep.SteinerWL)
 	fmt.Printf("routed WL:        %.0f\n", rep.Routed.WirelengthDB)
-	fmt.Printf("route overflow:   %.0f tracks over %d edges (peak %.2fx)\n",
-		rep.Routed.Overflow, rep.Routed.OverflowEdges, rep.Routed.MaxUsage)
+	fmt.Printf("route overflow:   %.0f tracks over %d edges, %d bins (peak %.2fx)\n",
+		rep.Routed.Overflow, rep.Routed.OverflowEdges, rep.Routed.OverflowBins, rep.Routed.MaxUsage)
+	for i, b := range hottestBins(hotBins, 5) {
+		if i == 0 {
+			fmt.Printf("hottest bins:    ")
+		} else {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("(%d,%d) %.1f", b.I, b.J, b.Overflow)
+	}
+	if len(hotBins) > 0 {
+		fmt.Println()
+	}
 	fmt.Printf("max utilization:  %.2f\n", rep.MaxUtil)
 	fmt.Printf("RUDY ACE5:        %.2f\n", rep.Congestion.ACE5)
 	fmt.Printf("datapath groups:  %d (%d cells); alignment RMS %.3f\n",
 		len(ext.Groups), ext.NumGrouped(), align)
 	return 0
+}
+
+// binOverflow is one overflowed routing-grid bin in the JSON report.
+type binOverflow struct {
+	I        int     `json:"i"`
+	J        int     `json:"j"`
+	Overflow float64 `json:"overflow"` // tracks over capacity charged to this bin
+}
+
+// overflowBins extracts the nonzero entries of the router's per-bin overflow
+// map, in bin-index order.
+func overflowBins(r *route.GRouteResult) []binOverflow {
+	var out []binOverflow
+	for idx, v := range r.BinOverflow {
+		if v > 0 {
+			out = append(out, binOverflow{I: idx % r.GridNX, J: idx / r.GridNX, Overflow: v})
+		}
+	}
+	return out
+}
+
+// hottestBins returns the n worst bins, ties broken by bin index so the
+// listing is deterministic.
+func hottestBins(bins []binOverflow, n int) []binOverflow {
+	sorted := append([]binOverflow(nil), bins...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return sorted[a].Overflow > sorted[b].Overflow
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
 }
 
 func errString(err error) string {

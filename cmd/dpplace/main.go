@@ -5,10 +5,19 @@
 //
 //	dpplace [-mode structure-aware|baseline] [-model wa|lse] [-out out.pl]
 //	        [-outer 24] [-inner 50] [-timeout 0] [-on-degrade fallback|fail]
+//	        [-congestion] [-inflate-max 2.0]
 //	        [-multilevel] [-cluster-ratio 0.22] [-levels 0] [-workers N]
 //	        [-trace run.jsonl] [-report out.json] [-v] [-quiet]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof :6060]
 //	        design.aux
+//
+// Routability: -congestion turns on the congestion feedback loop inside
+// global placement — periodic RUDY snapshots inflate the modeled area of
+// cells sitting in over-demand bins (monotone, capped at -inflate-max) so the
+// density spreader reserves routing space where wiring is densest. The loop
+// is deterministic and keeps placements bit-identical at every -workers
+// setting; run reports gain a `congestion` block with the overflow
+// trajectory.
 //
 // Performance: -workers shards the analytical placer's hot paths (WA
 // wirelength, density, routing estimates) across a bounded worker pool.
@@ -69,6 +78,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/place/congestion"
 	"repro/internal/place/global"
 	"repro/internal/place/multilevel"
 	"repro/internal/viz"
@@ -135,6 +145,8 @@ type cliFlags struct {
 	inner        *int
 	timeout      *time.Duration
 	onDegrade    *string
+	congestion   *bool
+	inflateMax   *float64
 	multilevel   *bool
 	clusterRatio *float64
 	levels       *int
@@ -154,7 +166,7 @@ var flagGroups = []struct {
 	title string
 	names []string
 }{
-	{"Run control", []string{"mode", "model", "out", "svg", "outer", "inner", "timeout", "on-degrade"}},
+	{"Run control", []string{"mode", "model", "out", "svg", "outer", "inner", "timeout", "on-degrade", "congestion", "inflate-max"}},
 	{"Performance", []string{"multilevel", "cluster-ratio", "levels", "workers", "cpuprofile", "memprofile", "pprof"}},
 	{"Observability", []string{"trace", "report", "v", "quiet"}},
 }
@@ -171,6 +183,10 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 	f.timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
 	f.onDegrade = fs.String("on-degrade", "fallback",
 		"reaction to degenerate/diverging datapath groups: fallback (place them as plain cells) or fail")
+	f.congestion = fs.Bool("congestion", false,
+		"congestion feedback inside global placement: periodic RUDY snapshots inflate cells in over-demand bins so the spreader reserves routing space")
+	f.inflateMax = fs.Float64("inflate-max", 2.0,
+		"cap on the per-cell congestion area multiplier (with -congestion)")
 	f.multilevel = fs.Bool("multilevel", false,
 		"V-cycle clustered global placement: coarsen the netlist (datapath groups stay atomic), place the clusters, interpolate and refine level by level")
 	f.clusterRatio = fs.Float64("cluster-ratio", 0.22,
@@ -313,6 +329,10 @@ func run() int {
 			MaxOuterIters: *outer,
 			InnerIters:    *inner,
 			Workers:       *f.workers,
+			Congestion: congestion.Options{
+				Enable:     *f.congestion,
+				MaxInflate: *f.inflateMax,
+			},
 		},
 	}
 	switch *mode {
@@ -452,6 +472,10 @@ func printSummary(w *os.File, mode core.Mode, res *core.Result, rep *metrics.Rep
 		fmt.Fprintf(w, "incremental:     dirty-net ratio %.3f (%d full, %d delta evals)\n",
 			g.DirtyNetRatio(), g.FullEvals, g.DeltaEvals)
 	}
+	if c := res.GlobalResult.Congestion; c != nil {
+		fmt.Fprintf(w, "congestion:      %d snapshots, %d cells inflated (max ×%.2f)\n",
+			c.Snapshots, c.InflatedCells, c.MaxInflation)
+	}
 
 	diag := res.GlobalResult.Diagnostics
 	if diag.Recoveries > 0 || diag.Rollbacks > 0 || diag.ReAnneals > 0 {
@@ -504,6 +528,9 @@ func writeReport(path, design string, mode core.Mode, res *core.Result, rep *met
 	if res.Multilevel != nil {
 		out.Levels = res.Multilevel.Levels
 		out.ClusterRatio = res.Multilevel.ClusterRatio
+	}
+	if c := res.GlobalResult.Congestion; c != nil {
+		out.Congestion = c.Report()
 	}
 	for _, deg := range res.Degradations {
 		out.Degradations = append(out.Degradations, obs.DegradeEntry{

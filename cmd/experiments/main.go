@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only 1,2,3,4,5,6,f5,f6,f7]
+//	experiments [-quick] [-only 1,2,3,4,5,6,10,f5,f6,f7]
 //
 // -quick shrinks budgets and the suite for a fast smoke run; the default
 // (full) budget reproduces the numbers recorded in EXPERIMENTS.md.
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced budgets and suite")
-	only := flag.String("only", "", "comma-separated experiment ids (1,2,3,4,5,6,f5,f6,f7); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (1,2,3,4,5,6,10,f5,f6,f7); empty = all")
 	flag.Parse()
 
 	opts := experiments.RunOpts{Quick: *quick}
@@ -73,6 +73,17 @@ func main() {
 		// Seed robustness on the dp03 shape.
 		base := gen.Suite()[2]
 		tbl, err := experiments.Table6(base, []int64{103, 203, 303, 403, 503}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.Fprint(out)
+	}
+	if sel("10") {
+		n := 3
+		if len(cfgs) < n {
+			n = len(cfgs)
+		}
+		tbl, err := experiments.Table10(cfgs[:n], opts)
 		if err != nil {
 			log.Fatal(err)
 		}

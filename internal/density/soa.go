@@ -165,7 +165,11 @@ func (p *Potential) Value(cx, cy []float64) float64 {
 			sy := p.tabY.fill(mi, cy[ci], g.Region.Lo.Y, g.BinH, g.NY)
 			s := sx * sy
 			if s > 0 {
-				p.norm[mi] = p.nl.Cells[ci].Area() / s
+				area := p.nl.Cells[ci].Area()
+				if p.areaScale != nil {
+					area *= p.areaScale[ci]
+				}
+				p.norm[mi] = area / s
 			} else {
 				p.norm[mi] = 0
 			}
@@ -200,10 +204,18 @@ func (p *Potential) Value(cx, cy []float64) float64 {
 
 	// Pass 3: objective and residuals, serial in bin order.
 	n := 0.0
-	for i := range p.dens {
-		d := p.dens[i] - p.target[i]
-		p.diff[i] = d
-		n += d * d
+	if p.tscale != nil {
+		for i := range p.dens {
+			d := p.dens[i] - p.target[i]*p.tscale[i]
+			p.diff[i] = d
+			n += d * d
+		}
+	} else {
+		for i := range p.dens {
+			d := p.dens[i] - p.target[i]
+			p.diff[i] = d
+			n += d * d
+		}
 	}
 	p.valReady = true
 	return n

@@ -141,3 +141,16 @@ func TestMeanSD(t *testing.T) {
 		t.Errorf("constant meanSD = %q", got)
 	}
 }
+
+func TestTable10Congestion(t *testing.T) {
+	tbl, err := Table10(tinyConfigs()[:1], quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("table10 rows = %d", len(tbl.Rows))
+	}
+	if got := len(tbl.Rows[0]); got != len(tbl.Header) {
+		t.Fatalf("table10 row has %d cells, header %d", got, len(tbl.Header))
+	}
+}

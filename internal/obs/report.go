@@ -52,6 +52,11 @@ type RunReport struct {
 	Degradations []DegradeEntry     `json:"degradations,omitempty"`
 	Trajectory   []TrajectoryPoint  `json:"trajectory,omitempty"`
 
+	// Congestion summarizes the congestion feedback loop of the global solve
+	// when it was enabled. Additive to dpplace-run-report/v1: absent when the
+	// loop was off.
+	Congestion *CongestionReport `json:"congestion,omitempty"`
+
 	// Metrics holds the evaluation report (metrics.Report) when the caller
 	// computed one. Typed as any so this package stays dependency-free.
 	Metrics any `json:"metrics,omitempty"`
@@ -61,6 +66,24 @@ type RunReport struct {
 	// frozen next to the per-run story. Additive to dpplace-run-report/v1:
 	// absent for CLI runs and for daemons without a registry.
 	MetricsSnapshot map[string]float64 `json:"metrics_snapshot,omitempty"`
+}
+
+// CongestionReport is the run-report `congestion` block: what the feedback
+// loop did during the global solve. Mirrors congestion.Stats field-for-field;
+// duplicated here so this package stays dependency-free.
+type CongestionReport struct {
+	// Snapshots is the number of RUDY snapshots taken; Applied counts the
+	// ones that changed the inflation state.
+	Snapshots int `json:"snapshots"`
+	Applied   int `json:"applied,omitempty"`
+	// InflatedCells and MaxInflation describe the final inflation state.
+	InflatedCells int     `json:"inflated_cells,omitempty"`
+	MaxInflation  float64 `json:"max_inflation,omitempty"`
+	// FrozenAtSnapshot is the 1-based snapshot index at which the cool-down
+	// froze the schedule (0: never froze).
+	FrozenAtSnapshot int `json:"frozen_at_snapshot,omitempty"`
+	// Overflow is the RUDY-overflow trajectory, one entry per snapshot.
+	Overflow []float64 `json:"overflow,omitempty"`
 }
 
 // HPWLSummary carries the wirelength at each pipeline boundary.

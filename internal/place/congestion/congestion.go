@@ -1,0 +1,338 @@
+// Package congestion implements the routability feedback loop of global
+// placement: periodic RUDY snapshots of the evolving placement, a monotone
+// capped cell-inflation schedule for cells sitting in over-demand bins, and
+// optional per-bin density-target modulation. The controller only *decides*
+// (which cells inflate, by how much, when to stop); applying the decision is
+// the engine's job — it feeds Scale/TargetScale to density.Potential and
+// invalidates its own caches (DESIGN.md §15).
+//
+// Everything here is deterministic: snapshot cadence depends only on the
+// outer-iteration index, the RUDY estimator is bit-identical at every worker
+// count, and the inflation sweep visits cells in ascending index order with
+// no data-dependent float comparisons beyond the shared snapshot.
+package congestion
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/route"
+)
+
+// Options configures the feedback loop. The zero value with Enable=false is
+// inert; New applies the documented defaults to zero fields.
+type Options struct {
+	// Enable turns the loop on. All other fields are ignored when false.
+	Enable bool
+	// Interval is the outer-iteration cadence: a snapshot fires every
+	// Interval-th outer iteration (default 2 — the maturity gate below
+	// already delays the first snapshot until late in the λ schedule, so
+	// the cadence within the remaining iterations is tight).
+	Interval int
+	// MaxInflate caps the per-cell area multiplier (default 2.0). The
+	// schedule is monotone non-decreasing and never exceeds this cap.
+	MaxInflate float64
+	// InflateStep scales the per-snapshot multiplicative growth: a cell in
+	// a bin at twice the hot threshold grows by the full (1+InflateStep)
+	// factor, shallower excesses grow proportionally less (default 0.15 —
+	// tuned with HotQuantile on the seed-7 bench for roughly −19% routed
+	// overflow at under 1% HPWL cost).
+	InflateStep float64
+	// HotQuantile selects hot bins relatively: a bin is hot when its demand
+	// exceeds this quantile of the snapshot's per-bin demand distribution
+	// (default 0.92 — the worst 8% of bins, the same tail the ACE metrics
+	// watch). Relative selection is what makes the loop portable: absolute
+	// RUDY demand scales with the capacity calibration, but the hot tail is
+	// hot under any calibration.
+	HotQuantile float64
+	// HotThreshold is an absolute floor under the quantile: bins below this
+	// normalized demand are never hot even when the design is so uncongested
+	// that the quantile lands there (default 1.0 — demand exceeds capacity).
+	HotThreshold float64
+	// MaxDensOverflow gates the cadence on placement maturity: snapshots
+	// fire only once the committed placement's exact density overflow has
+	// dropped below this (default 0.35). Early in the λ schedule cells are
+	// still clustered, RUDY flags most of the core hot, and inflating on
+	// that signal is indistinguishable from uniform area scaling — all HPWL
+	// cost, no routability gain.
+	MaxDensOverflow float64
+	// CoolDown freezes the schedule after this many consecutive snapshots
+	// without RUDY-overflow improvement (default 2), so inflation that has
+	// stopped helping cannot balloon cell area without bound.
+	CoolDown int
+	// TargetScaleMin, when < 1, also lowers the density target of hot bins
+	// (multiplicatively, floored here). Default 1: target modulation off.
+	TargetScaleMin float64
+	// SnapshotOnEntry fires an extra snapshot at outer iteration 0; the
+	// multilevel driver sets it on the finest level so inflation responds
+	// to the warm-started placement inherited from the coarser level.
+	SnapshotOnEntry bool
+	// WireWidth and Capacity configure the RUDY estimate (route.RUDYOptions;
+	// Capacity defaults to 0.15, matching the evaluation calibration).
+	WireWidth float64
+	Capacity  float64
+}
+
+// withDefaults returns o with zero fields replaced by the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2
+	}
+	if o.HotQuantile <= 0 || o.HotQuantile >= 1 {
+		o.HotQuantile = 0.92
+	}
+	if o.MaxInflate <= 1 {
+		o.MaxInflate = 2.0
+	}
+	if o.InflateStep <= 0 {
+		o.InflateStep = 0.15
+	}
+	if o.HotThreshold <= 0 {
+		o.HotThreshold = 1.0
+	}
+	if o.MaxDensOverflow <= 0 {
+		o.MaxDensOverflow = 0.35
+	}
+	if o.CoolDown <= 0 {
+		o.CoolDown = 2
+	}
+	if o.TargetScaleMin <= 0 || o.TargetScaleMin > 1 {
+		o.TargetScaleMin = 1
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 0.15
+	}
+	return o
+}
+
+// Stats summarizes a controller's activity for run reports and metrics.
+type Stats struct {
+	// Snapshots is the number of RUDY snapshots taken.
+	Snapshots int
+	// Applied counts snapshots that changed the inflation state.
+	Applied int
+	// InflatedCells is the number of cells currently above scale 1.
+	InflatedCells int
+	// MaxInflation is the largest per-cell scale reached.
+	MaxInflation float64
+	// FrozenAtSnapshot is the 1-based snapshot index at which the cool-down
+	// froze the schedule; 0 when it never froze.
+	FrozenAtSnapshot int
+	// Overflow is the RUDY-overflow trajectory, one entry per snapshot.
+	Overflow []float64
+}
+
+// Report converts the stats to the run-report congestion block
+// (obs.CongestionReport mirrors Stats field-for-field; the conversion lives
+// here so dpplace and the daemon's artifact writer share one code path).
+func (s Stats) Report() *obs.CongestionReport {
+	return &obs.CongestionReport{
+		Snapshots:        s.Snapshots,
+		Applied:          s.Applied,
+		InflatedCells:    s.InflatedCells,
+		MaxInflation:     s.MaxInflation,
+		FrozenAtSnapshot: s.FrozenAtSnapshot,
+		Overflow:         s.Overflow,
+	}
+}
+
+// Controller owns the feedback state between snapshots. Not safe for
+// concurrent use; the engine calls it from its outer loop only.
+type Controller struct {
+	nl   *netlist.Netlist
+	grid geom.Grid
+	opt  Options
+	est  *route.Estimator
+
+	scale  []float64 // per-cell area multiplier, monotone in [1, MaxInflate]
+	tscale []float64 // per-bin target multiplier, only when TargetScaleMin < 1
+	sorted []float64 // scratch for the per-snapshot demand quantile
+
+	stats        Stats
+	frozen       bool
+	bestOverflow float64
+	sinceImprove int
+}
+
+// New builds a controller for nl over the engine's density grid. Returns nil
+// when opt.Enable is false, so engines can hold a nil controller and skip the
+// loop with one check.
+func New(nl *netlist.Netlist, grid geom.Grid, opt Options) *Controller {
+	if !opt.Enable {
+		return nil
+	}
+	opt = opt.withDefaults()
+	c := &Controller{
+		nl:   nl,
+		grid: grid,
+		opt:  opt,
+		est: route.NewEstimator(nl, grid, route.RUDYOptions{
+			WireWidth: opt.WireWidth,
+			Capacity:  opt.Capacity,
+		}),
+		scale:        make([]float64, len(nl.Cells)),
+		bestOverflow: math.Inf(1),
+	}
+	for i := range c.scale {
+		c.scale[i] = 1
+	}
+	if opt.TargetScaleMin < 1 {
+		c.tscale = make([]float64, grid.Bins())
+		for i := range c.tscale {
+			c.tscale[i] = 1
+		}
+	}
+	return c
+}
+
+// Due reports whether a snapshot should fire at the given outer iteration,
+// where densOv is the committed placement's exact density overflow. The
+// decision depends only on the iteration index, that overflow, and the
+// controller's own history — never on wall clock — so every worker count
+// sees the same schedule.
+func (c *Controller) Due(outer int, densOv float64) bool {
+	if c == nil || c.frozen || densOv > c.opt.MaxDensOverflow {
+		return false
+	}
+	if outer == 0 {
+		return c.opt.SnapshotOnEntry
+	}
+	return outer%c.opt.Interval == 0
+}
+
+// Snapshot takes a RUDY snapshot of pl and advances the inflation schedule.
+// It reports whether the inflation or target-scale state changed (the caller
+// must then re-feed Scale/TargetScale to its density model and invalidate
+// value/gradient caches). A context expiry mid-snapshot leaves the schedule
+// unchanged and returns false.
+func (c *Controller) Snapshot(ctx context.Context, pool *par.Pool, pl *netlist.Placement) bool {
+	cm := c.est.Snapshot(ctx, pool, pl)
+	if cm == nil {
+		return false
+	}
+	c.stats.Snapshots++
+
+	ov := 0.0
+	for _, d := range cm.Demand {
+		if d > 1 {
+			ov += d - 1
+		}
+	}
+	c.stats.Overflow = append(c.stats.Overflow, ov)
+
+	// Hot threshold for this snapshot: the demand quantile, floored by the
+	// absolute threshold. sort.Float64s on a copy is deterministic.
+	if c.sorted == nil {
+		c.sorted = make([]float64, len(cm.Demand))
+	}
+	copy(c.sorted, cm.Demand)
+	sort.Float64s(c.sorted)
+	qi := int(c.opt.HotQuantile * float64(len(c.sorted)-1))
+	thr := c.sorted[qi]
+	if thr < c.opt.HotThreshold {
+		thr = c.opt.HotThreshold
+	}
+
+	// Cool-down: freeze once overflow stops improving. The comparison uses
+	// a small relative margin so float jitter near convergence does not
+	// count as progress.
+	if ov < c.bestOverflow*(1-1e-6) {
+		c.bestOverflow = ov
+		c.sinceImprove = 0
+	} else {
+		c.sinceImprove++
+		if c.sinceImprove >= c.opt.CoolDown {
+			c.frozen = true
+			c.stats.FrozenAtSnapshot = c.stats.Snapshots
+			return false
+		}
+	}
+	if ov == 0 {
+		return false
+	}
+
+	changed := false
+	// Inflate movable cells sitting in hot bins, ascending cell order.
+	for ci := range c.nl.Cells {
+		if c.nl.Cells[ci].Fixed {
+			continue
+		}
+		bi, bj := c.grid.Loc(pl.CellCenter(c.nl, netlist.CellID(ci)))
+		d := cm.Demand[c.grid.Index(bi, bj)]
+		if d <= thr {
+			continue
+		}
+		sev := (d - thr) / thr
+		if sev > 1 {
+			sev = 1
+		}
+		ns := c.scale[ci] * (1 + c.opt.InflateStep*sev)
+		if ns > c.opt.MaxInflate {
+			ns = c.opt.MaxInflate
+		}
+		if ns > c.scale[ci] {
+			c.scale[ci] = ns
+			changed = true
+		}
+	}
+	// Optional per-bin target modulation, ascending bin order.
+	if c.tscale != nil {
+		step := c.opt.InflateStep / 2
+		for b, d := range cm.Demand {
+			if d <= thr {
+				continue
+			}
+			sev := (d - thr) / thr
+			if sev > 1 {
+				sev = 1
+			}
+			nt := c.tscale[b] * (1 - step*sev)
+			if nt < c.opt.TargetScaleMin {
+				nt = c.opt.TargetScaleMin
+			}
+			if nt < c.tscale[b] {
+				c.tscale[b] = nt
+				changed = true
+			}
+		}
+	}
+
+	if changed {
+		c.stats.Applied++
+		c.stats.InflatedCells = 0
+		c.stats.MaxInflation = 1
+		for _, s := range c.scale {
+			if s > 1 {
+				c.stats.InflatedCells++
+			}
+			if s > c.stats.MaxInflation {
+				c.stats.MaxInflation = s
+			}
+		}
+	}
+	return changed
+}
+
+// Scale returns the per-cell area multipliers (indexed by CellID). The slice
+// is live controller state: it reflects later snapshots without re-fetching,
+// which is exactly what the density model wants, but callers must not mutate
+// it.
+func (c *Controller) Scale() []float64 { return c.scale }
+
+// TargetScale returns the per-bin density-target multipliers, or nil when
+// target modulation is off (TargetScaleMin == 1). Same ownership rules as
+// Scale.
+func (c *Controller) TargetScale() []float64 { return c.tscale }
+
+// Stats returns a copy of the controller's activity summary. The Overflow
+// trajectory is copied too, so the caller may retain the result.
+func (c *Controller) Stats() Stats {
+	st := c.stats
+	st.Overflow = append([]float64(nil), c.stats.Overflow...)
+	return st
+}

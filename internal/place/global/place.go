@@ -13,6 +13,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/par"
 	"repro/internal/pipeline"
+	"repro/internal/place/congestion"
 	"repro/internal/wirelength"
 )
 
@@ -74,6 +75,11 @@ type Options struct {
 	// goroutine. The placement is bit-identical at every worker count; the
 	// setting only trades wall clock for cores.
 	Workers int
+	// Congestion configures the routability feedback loop: periodic RUDY
+	// snapshots inflating cells in over-demand bins (package congestion).
+	// The zero value (Enable=false) keeps the loop off and the solve
+	// byte-identical to a build without it.
+	Congestion congestion.Options
 	// Trace, when non-nil, observes every outer iteration.
 	Trace func(TracePoint)
 }
@@ -113,6 +119,10 @@ type Result struct {
 	// moves touching a variable subset).
 	FullEvals  int64
 	DeltaEvals int64
+	// Congestion summarizes the routability feedback loop when it was
+	// enabled (Options.Congestion): snapshots taken, cells inflated, the
+	// RUDY-overflow trajectory. Nil when the loop was off.
+	Congestion *congestion.Stats
 	// Diagnostics records the resilience events of the run.
 	Diagnostics Diagnostics
 }
@@ -297,6 +307,9 @@ type engine struct {
 	densVal                  float64
 	densClean, densGradClean bool
 
+	// Congestion feedback controller; nil when Options.Congestion is off.
+	cong *congestion.Controller
+
 	// Term-gradient scratch (soft alignment).
 	sgx, sgy []float64
 
@@ -383,6 +396,7 @@ func newEngine(nl *netlist.Netlist, pl *netlist.Placement, core *geom.Core, o Op
 	}
 	e.grid = geom.NewGrid(core.Region, dim, dim)
 	e.pot = density.NewPotential(nl, pl, e.grid, o.TargetDensity)
+	e.cong = congestion.New(nl, e.grid, o.Congestion)
 
 	e.xFull = make([]float64, nc)
 	e.yFull = make([]float64, nc)
@@ -1002,6 +1016,14 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	// the caller can fall back to a simpler formulation.
 	gammaBoost := 1.0
 	diverged := 0
+	// lastOv tracks the exact density overflow of the committed placement;
+	// the congestion controller gates its snapshot cadence on it (inflating
+	// a still-clustered placement is pure HPWL cost). Seeded with a real
+	// measurement only when the loop is on — it costs an exact map pass.
+	lastOv := math.Inf(1)
+	if e.cong != nil {
+		lastOv = density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
+	}
 	var stageErr error
 	for outer := 0; outer < e.o.MaxOuterIters; outer++ {
 		if pipeline.Expired(ctx) {
@@ -1012,6 +1034,26 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 				"deadline expired at outer %d; committing best iterate", outer)
 			break
 		}
+		// Congestion feedback: pl holds the committed iterate (the initial
+		// placement at outer 0), so the snapshot sees what the spreader
+		// produced. Inflation changes the density objective at unchanged
+		// coordinates, so both density caches must drop (§14: all-or-nothing).
+		if e.cong.Due(outer, lastOv) {
+			if e.cong.Snapshot(ctx, e.pool, pl) {
+				e.pot.SetAreaScale(e.cong.Scale())
+				if ts := e.cong.TargetScale(); ts != nil {
+					e.pot.SetTargetScale(ts)
+				}
+				e.densClean, e.densGradClean = false, false
+				st := e.cong.Stats()
+				rec.SolverEvent("global", outer, "congestion-inflate", 0, 0, e.lambda)
+				rec.Logf(obs.Debug, "global",
+					"congestion snapshot %d at outer %d: %d cells inflated (max ×%.2f), RUDY overflow %.1f",
+					st.Snapshots, outer, st.InflatedCells, st.MaxInflation,
+					st.Overflow[len(st.Overflow)-1])
+			}
+		}
+
 		frac := float64(outer) / math.Max(1, float64(e.o.MaxOuterIters-1))
 		gamma := gammaHi * math.Pow(gammaLo/gammaHi, frac)
 		if gammaBoost != 1 {
@@ -1059,6 +1101,7 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 		e.clampVars(v)
 		e.commit(v)
 		ov := density.Overflow(nl, pl, e.grid, e.o.TargetDensity)
+		lastOv = ov
 		if ov < bestOv-1e-4 {
 			bestOv = ov
 			copy(bestV, v)
@@ -1144,6 +1187,12 @@ func (e *engine) run(ctx context.Context) (Result, error) {
 	rec.Add("global/net_reuses", res.NetReuses)
 	rec.Add("global/evals_full", res.FullEvals)
 	rec.Add("global/evals_delta", res.DeltaEvals)
+	if e.cong != nil {
+		st := e.cong.Stats()
+		res.Congestion = &st
+		rec.Add("global/congestion_snapshots", int64(st.Snapshots))
+		rec.Add("global/congestion_inflated_cells", int64(st.InflatedCells))
+	}
 	rec.Logf(obs.Debug, "global",
 		"done: %d outer iters, %d evals, HPWL %.0f, overflow %.3f, align RMS %.3f",
 		res.OuterIters, res.FuncEvals, res.HPWL, res.Overflow, res.AlignRMS)

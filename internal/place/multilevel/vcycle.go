@@ -9,6 +9,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/place/congestion"
 	"repro/internal/place/global"
 )
 
@@ -255,12 +256,22 @@ func levelOptions(o Options, k, top int) global.Options {
 	if k > 0 {
 		// Looser targets at coarse levels: square clusters overestimate the
 		// local footprint, and over-spreading them would be undone anyway.
+		// Congestion feedback is disabled too — cluster RUDY over synthetic
+		// cluster nets is not the signal the controller was calibrated for,
+		// and its cell inflation only means anything on the flat netlist.
 		gOpt.TargetDensity = math.Min(0.97, target+0.02*float64(k))
 		gOpt.Groups = nil
 		gOpt.Trace = nil
+		gOpt.Congestion = congestion.Options{}
 	} else {
 		gOpt.TargetDensity = target
 		gOpt.Groups = o.Groups
+		if top > 0 {
+			// Finest level of a real V-cycle: snapshot immediately on entry
+			// so inflation responds to the interpolated placement inherited
+			// from the coarser level, not only to the periodic cadence.
+			gOpt.Congestion.SnapshotOnEntry = true
+		}
 	}
 	if k == top && top > 0 {
 		// Coarsest level: cold start (its own quadratic init) at full budget.

@@ -34,8 +34,17 @@ type GRouteResult struct {
 	Overflow      float64 // Σ max(0, usage − capacity) over edges, in tracks
 	MaxUsage      float64 // peak edge usage/capacity
 	OverflowEdges int     // edges above capacity
+	OverflowBins  int     // routing-grid bins touching at least one overflowed edge
 	SkippedNets   int     // nets above MaxDegree
 	Partial       bool    // a deadline stopped routing early
+	// GridNX/GridNY record the routing-grid shape BinOverflow is indexed by.
+	GridNX, GridNY int
+	// BinOverflow maps overflow onto bins in Grid.Index order (j*GridNX+i):
+	// each overflowed edge's excess tracks are split evenly between the two
+	// bins the edge connects, so the slice sums to Overflow exactly. It is
+	// O(bins) large and excluded from JSON run reports; dpeval exports the
+	// nonzero entries explicitly for the CI gate and EXPERIMENTS tables.
+	BinOverflow []float64 `json:"-"`
 }
 
 // grEdge addressing: horizontal edges cross vertical bin boundaries
@@ -180,22 +189,39 @@ func GlobalRouteCtx(ctx context.Context, nl *netlist.Netlist, pl *netlist.Placem
 			}
 		}
 	}
-	for _, u := range r.hUse {
+	res.GridNX, res.GridNY = opt.NX, opt.NY
+	res.BinOverflow = make([]float64, r.grid.Bins())
+	for idx, u := range r.hUse {
 		if u > r.hCap {
-			res.Overflow += u - r.hCap
+			ex := u - r.hCap
+			res.Overflow += ex
 			res.OverflowEdges++
+			// A horizontal edge crosses the boundary between bins (i,j)
+			// and (i+1,j); charge half the excess to each side.
+			i, j := idx%(opt.NX-1), idx/(opt.NX-1)
+			res.BinOverflow[r.grid.Index(i, j)] += ex / 2
+			res.BinOverflow[r.grid.Index(i+1, j)] += ex / 2
 		}
 		if m := u / r.hCap; m > res.MaxUsage {
 			res.MaxUsage = m
 		}
 	}
-	for _, u := range r.vUse {
+	for idx, u := range r.vUse {
 		if u > r.vCap {
-			res.Overflow += u - r.vCap
+			ex := u - r.vCap
+			res.Overflow += ex
 			res.OverflowEdges++
+			i, j := idx%opt.NX, idx/opt.NX
+			res.BinOverflow[r.grid.Index(i, j)] += ex / 2
+			res.BinOverflow[r.grid.Index(i, j+1)] += ex / 2
 		}
 		if m := u / r.vCap; m > res.MaxUsage {
 			res.MaxUsage = m
+		}
+	}
+	for _, v := range res.BinOverflow {
+		if v > 0 {
+			res.OverflowBins++
 		}
 	}
 	return res

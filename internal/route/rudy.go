@@ -39,19 +39,83 @@ func RUDY(nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOp
 // map is bit-identical at every worker count. A nil pool runs inline. When
 // ctx expires mid-computation the returned map is nil.
 func RUDYPool(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOptions) *CongestionMap {
+	cm := &CongestionMap{Grid: grid, Demand: make([]float64, grid.Bins())}
+	boxes := make([]geom.Rect, len(nl.Nets))
+	dens := make([]float64, len(nl.Nets))
+	if err := rudyInto(ctx, pool, nl, pl, grid, opt, boxes, dens, cm.Demand); err != nil {
+		return nil
+	}
+	return cm
+}
+
+// Estimator computes repeated RUDY snapshots of an evolving placement over a
+// fixed grid, owning the SoA scratch (per-net wire boxes and densities, the
+// flat per-bin demand accumulator) across calls: the congestion-feedback loop
+// of global placement snapshots every few outer iterations, and none of those
+// snapshots allocates. Snapshots follow the same two-pass row-tiled
+// discipline as RUDYPool, so each map is bit-identical at every worker count.
+type Estimator struct {
+	nl    *netlist.Netlist
+	grid  geom.Grid
+	opt   RUDYOptions
+	boxes []geom.Rect
+	dens  []float64
+	cm    CongestionMap
+}
+
+// NewEstimator prepares an estimator for nl over grid. The options are
+// normalized once here (zero WireWidth/Capacity become 1).
+func NewEstimator(nl *netlist.Netlist, grid geom.Grid, opt RUDYOptions) *Estimator {
 	if opt.WireWidth <= 0 {
 		opt.WireWidth = 1
 	}
 	if opt.Capacity <= 0 {
 		opt.Capacity = 1
 	}
-	cm := &CongestionMap{Grid: grid, Demand: make([]float64, grid.Bins())}
+	return &Estimator{
+		nl:    nl,
+		grid:  grid,
+		opt:   opt,
+		boxes: make([]geom.Rect, len(nl.Nets)),
+		dens:  make([]float64, len(nl.Nets)),
+		cm:    CongestionMap{Grid: grid, Demand: make([]float64, grid.Bins())},
+	}
+}
+
+// Snapshot recomputes the congestion map at pl into the estimator's reused
+// buffers and returns it. The returned map is owned by the estimator and
+// valid until the next Snapshot. A nil pool runs inline; when ctx expires
+// mid-computation the result is nil and the internal state is unspecified
+// (the next Snapshot recomputes everything regardless).
+func (e *Estimator) Snapshot(ctx context.Context, pool *par.Pool, pl *netlist.Placement) *CongestionMap {
+	for i := range e.cm.Demand {
+		e.cm.Demand[i] = 0
+	}
+	if err := rudyInto(ctx, pool, e.nl, pl, e.grid, e.opt, e.boxes, e.dens, e.cm.Demand); err != nil {
+		return nil
+	}
+	return &e.cm
+}
+
+// rudyInto is the shared RUDY core: normalized per-bin demand accumulated
+// into the caller-owned demand slice (zeroed by the caller), using the
+// caller-owned per-net scratch. opt must already carry positive
+// WireWidth/Capacity defaults when called from Estimator; RUDYPool normalizes
+// here for one-shot callers.
+func rudyInto(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netlist.Placement, grid geom.Grid, opt RUDYOptions, boxes []geom.Rect, dens []float64, demand []float64) error {
+	if opt.WireWidth <= 0 {
+		opt.WireWidth = 1
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = 1
+	}
 
 	// Pass 1: per-net boxes and spread densities (independent per net).
-	boxes := make([]geom.Rect, len(nl.Nets))
-	dens := make([]float64, len(nl.Nets))
 	if err := pool.Run(ctx, len(nl.Nets), 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			// Reset first: the estimator reuses this scratch across
+			// snapshots, and skipped nets must not leak a stale density.
+			dens[i] = 0
 			net := &nl.Nets[i]
 			if net.Degree() < 2 {
 				continue
@@ -68,7 +132,7 @@ func RUDYPool(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netl
 			dens[i] = net.Weight * hpwl * opt.WireWidth / box.Area()
 		}
 	}); err != nil {
-		return nil
+		return err
 	}
 
 	// Pass 2: accumulation tiled by grid rows; per-bin order is net order.
@@ -89,20 +153,20 @@ func RUDYPool(ctx context.Context, pool *par.Pool, nl *netlist.Netlist, pl *netl
 				for bi := i0; bi < i1; bi++ {
 					ov := grid.BinRect(bi, j).Overlap(box)
 					if ov > 0 {
-						cm.Demand[grid.Index(bi, j)] += dens[i] * ov
+						demand[grid.Index(bi, j)] += dens[i] * ov
 					}
 				}
 			}
 		}
 	}); err != nil {
-		return nil
+		return err
 	}
 
 	binArea := grid.BinW * grid.BinH
-	for i := range cm.Demand {
-		cm.Demand[i] /= opt.Capacity * binArea
+	for i := range demand {
+		demand[i] /= opt.Capacity * binArea
 	}
-	return cm
+	return nil
 }
 
 // CongestionStats summarizes a congestion map for evaluation tables.

@@ -59,6 +59,9 @@ func writeJobReport(path, design string, mode core.Mode, res *core.Result, mrep 
 		out.Levels = res.Multilevel.Levels
 		out.ClusterRatio = res.Multilevel.ClusterRatio
 	}
+	if c := res.GlobalResult.Congestion; c != nil {
+		out.Congestion = c.Report()
+	}
 	for _, deg := range res.Degradations {
 		out.Degradations = append(out.Degradations, obs.DegradeEntry{
 			Stage: deg.Stage, Group: deg.Group, Reason: deg.Reason,

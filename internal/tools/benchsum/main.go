@@ -11,17 +11,27 @@
 // dpplace-kernel-bench/v1 JSON summary, so the kernel baseline is committed
 // next to the sweep.
 //
+// With -congestion it distills one dpplace run report (a `-congestion
+// -report` run) into a dpplace-congestion-bench/v1 summary: routed overflow,
+// overflowed edges/bins, final HPWL and the feedback loop's own stats — the
+// routability baseline committed as BENCH_congestion.json.
+//
 // With -diff it compares two reports of the same schema (typically the same
 // `make bench` artifact from two commits). For run reports it prints the
 // per-stage wall-clock deltas and the final-HPWL delta, then exits 1 when
 // the new run's total stage time regressed by more than 10%. For kernel
 // reports it prints per-benchmark ns/op deltas and exits 1 when any kernel
-// regressed by more than 10% — the CI kernel gate.
+// regressed by more than 10% — the CI kernel gate. For congestion reports it
+// prints routed-overflow and HPWL deltas and exits 1 when routed overflow
+// regressed by more than 10% at equal-or-better HPWL — the CI routability
+// gate (a worse overflow bought by a worse HPWL is a tradeoff for the other
+// gates; a worse overflow at the same wirelength is just a regression).
 //
 // Usage:
 //
 //	go run ./internal/tools/benchsum BENCH_workers_1.json BENCH_workers_2.json ...
 //	go run ./internal/tools/benchsum -kernels bench.txt BENCH_kernels.json
+//	go run ./internal/tools/benchsum -congestion report.json BENCH_congestion.json
 //	go run ./internal/tools/benchsum -diff old.json new.json
 package main
 
@@ -70,6 +80,17 @@ func main() {
 			os.Exit(2)
 		}
 		if err := kernelSummary(os.Args[2], os.Args[3]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if os.Args[1] == "-congestion" {
+		if len(os.Args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: benchsum -congestion report.json out.json")
+			os.Exit(2)
+		}
+		if err := congestionSummary(os.Args[2], os.Args[3]); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsum: %v\n", err)
 			os.Exit(1)
 		}
@@ -141,10 +162,14 @@ func diffReports(oldPath, newPath string) (ok bool, err error) {
 	}
 	oldSchema, _ := oldRep["schema"].(string)
 	newSchema, _ := newRep["schema"].(string)
-	if oldSchema == kernelBenchSchema || newSchema == kernelBenchSchema {
+	if oldSchema == kernelBenchSchema || newSchema == kernelBenchSchema ||
+		oldSchema == congestionBenchSchema || newSchema == congestionBenchSchema {
 		if oldSchema != newSchema {
 			return false, fmt.Errorf("schema mismatch: %s is %q, %s is %q",
 				oldPath, oldSchema, newPath, newSchema)
+		}
+		if oldSchema == congestionBenchSchema {
+			return diffCongestion(oldRep, newRep)
 		}
 		return diffKernels(oldRep, newRep)
 	}
@@ -347,6 +372,109 @@ func nsOpTable(raw map[string]any) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// congestionBenchSchema identifies the routability-baseline JSON layout.
+const congestionBenchSchema = "dpplace-congestion-bench/v1"
+
+// overflowSlack is the absolute routed-overflow tolerance of the congestion
+// gate, in tracks. The relative budget alone would make a near-zero baseline
+// un-gateable (0 → 0.1 tracks is a 10 000% "regression" nobody cares about).
+const overflowSlack = 0.5
+
+// congestionSummary distills a dpplace run report (written by a `-congestion
+// -report` run whose pipeline evaluated metrics) into the committed
+// routability baseline: routed overflow, overflowed edges/bins, final HPWL
+// and the feedback loop's own run-report block.
+func congestionSummary(reportPath, outPath string) error {
+	raw, err := loadRaw(reportPath)
+	if err != nil {
+		return err
+	}
+	routed := routedMetrics(raw)
+	if len(routed) == 0 {
+		return fmt.Errorf("%s: report has no metrics.Routed block; run dpplace with -report on a completed pipeline", reportPath)
+	}
+	hpwl := finalHPWL(raw)
+	if hpwl <= 0 {
+		return fmt.Errorf("%s: report has no final HPWL", reportPath)
+	}
+	out := map[string]any{
+		"schema":          congestionBenchSchema,
+		"design":          raw["design"],
+		"hpwl_final":      hpwl,
+		"routed_overflow": routed["Overflow"],
+		"overflow_edges":  routed["OverflowEdges"],
+		"overflow_bins":   routed["OverflowBins"],
+		"max_usage":       routed["MaxUsage"],
+	}
+	if cong, hasCong := raw["congestion"]; hasCong {
+		out["congestion"] = cong
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %12.1f tracks (%.0f edges, %.0f bins, peak %.2fx)\n",
+		"routed overflow", routed["Overflow"], routed["OverflowEdges"],
+		routed["OverflowBins"], routed["MaxUsage"])
+	fmt.Printf("%-18s %12.0f\n", "hpwl final", hpwl)
+	return nil
+}
+
+// routedMetrics extracts the global-router numbers of a run report. The
+// metrics block serializes metrics.Report with Go field names (no json tags),
+// so the keys are Overflow/OverflowEdges/OverflowBins/MaxUsage.
+func routedMetrics(raw map[string]any) map[string]float64 {
+	met, _ := raw["metrics"].(map[string]any)
+	routed, _ := met["Routed"].(map[string]any)
+	out := make(map[string]float64, len(routed))
+	//placelint:ignore maporder copying into a map; insertion order cannot be observed
+	for n, v := range routed {
+		if s, isNum := v.(float64); isNum {
+			out[n] = s
+		}
+	}
+	return out
+}
+
+// diffCongestion compares two dpplace-congestion-bench/v1 baselines and
+// reports whether the new run passes the routability gate: routed overflow
+// must not regress more than the slowdown budget (plus an absolute slack for
+// near-zero baselines) while HPWL stayed equal or better. An overflow
+// regression accompanied by a clearly worse HPWL does not fail here — that
+// tradeoff is the HPWL/time gates' jurisdiction — so the gate only fires on
+// the unambiguous case: same wirelength, worse routability.
+func diffCongestion(oldRep, newRep map[string]any) (ok bool, err error) {
+	oldOv, hasOldOv := oldRep["routed_overflow"].(float64)
+	newOv, hasNewOv := newRep["routed_overflow"].(float64)
+	oldH, hasOldH := oldRep["hpwl_final"].(float64)
+	newH, hasNewH := newRep["hpwl_final"].(float64)
+	if !hasOldOv || !hasNewOv || !hasOldH || !hasNewH {
+		return false, fmt.Errorf("a congestion report lacks routed_overflow or hpwl_final")
+	}
+	fmt.Printf("%-18s %12s %12s %8s\n", "metric", "old", "new", "delta")
+	fmt.Printf("%-18s %12.1f %12.1f %7.1f%%\n", "routed_overflow", oldOv, newOv, pctDelta(oldOv, newOv))
+	fmt.Printf("%-18s %12.0f %12.0f %7.1f%%\n", "hpwl_final", oldH, newH, pctDelta(oldH, newH))
+
+	overflowRegressed := newOv > oldOv*(1+slowdownBudget)+overflowSlack
+	hpwlEqualOrBetter := newH <= oldH*1.01
+	if overflowRegressed && hpwlEqualOrBetter {
+		fmt.Printf("FAIL: routed overflow regressed %.1f%% at equal-or-better HPWL (budget %.0f%% + %.1f tracks)\n",
+			pctDelta(oldOv, newOv), slowdownBudget*100, overflowSlack)
+		return false, nil
+	}
+	if overflowRegressed {
+		fmt.Printf("WARN: routed overflow regressed %.1f%% but HPWL moved %.1f%% — the HPWL/time gates own this tradeoff\n",
+			pctDelta(oldOv, newOv), pctDelta(oldH, newH))
+		return true, nil
+	}
+	fmt.Printf("OK: routed overflow within the %.0f%% budget\n", slowdownBudget*100)
+	return true, nil
 }
 
 // load reads one run report, requiring the workers count and the global

@@ -165,3 +165,119 @@ func TestPctDelta(t *testing.T) {
 		t.Fatalf("pctDelta(10,12) = %v, want 20", d)
 	}
 }
+
+// congBench builds a dpplace-congestion-bench/v1 baseline body.
+func congBench(overflow, hpwl float64) string {
+	b, err := json.Marshal(map[string]any{
+		"schema":          congestionBenchSchema,
+		"design":          "bench",
+		"hpwl_final":      hpwl,
+		"routed_overflow": overflow,
+		"overflow_edges":  10.0,
+		"overflow_bins":   8.0,
+		"max_usage":       1.2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestDiffCongestionGate seeds regressions against a committed-style
+// baseline and checks the gate fires only on the unambiguous case: routed
+// overflow up beyond the budget at equal-or-better HPWL.
+func TestDiffCongestionGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeFile(t, dir, "old.json", congBench(100, 5000))
+	cases := []struct {
+		name     string
+		overflow float64
+		hpwl     float64
+		wantOK   bool
+	}{
+		{"within-budget", 105, 5000, true},
+		{"improved", 80, 4900, true},
+		{"regressed-equal-hpwl", 120, 5000, false},
+		{"regressed-better-hpwl", 120, 4800, false},
+		// Overflow up but HPWL clearly worse: the tradeoff belongs to the
+		// HPWL/time gates, so this warns instead of failing.
+		{"regressed-worse-hpwl", 120, 5300, true},
+	}
+	for _, c := range cases {
+		p := writeFile(t, dir, c.name+".json", congBench(c.overflow, c.hpwl))
+		ok, err := diffReports(oldPath, p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ok != c.wantOK {
+			t.Errorf("%s: gate ok=%v, want %v", c.name, ok, c.wantOK)
+		}
+	}
+
+	// Near-zero baseline: the absolute slack keeps 0 -> 0.4 tracks from
+	// reading as an infinite-percent regression.
+	zeroOld := writeFile(t, dir, "zero-old.json", congBench(0, 5000))
+	zeroNew := writeFile(t, dir, "zero-new.json", congBench(0.4, 5000))
+	if ok, err := diffReports(zeroOld, zeroNew); err != nil || !ok {
+		t.Fatalf("near-zero baseline: ok=%v err=%v, want ok", ok, err)
+	}
+	beyondSlack := writeFile(t, dir, "beyond-slack.json", congBench(1.0, 5000))
+	if ok, err := diffReports(zeroOld, beyondSlack); err != nil || ok {
+		t.Fatalf("beyond-slack: ok=%v err=%v, want gate failure", ok, err)
+	}
+}
+
+// TestCongestionSummaryRoundTrip distills a synthetic run report and checks
+// the baseline fields, then pins the error paths for reports without routed
+// metrics or HPWL.
+func TestCongestionSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := map[string]any{
+		"schema": "dpplace-run-report/v1",
+		"design": "bench",
+		"hpwl":   map[string]any{"final": 48876.58},
+		"metrics": map[string]any{"Routed": map[string]any{
+			"Overflow": 249.4, "OverflowEdges": 301.0,
+			"OverflowBins": 260.0, "MaxUsage": 1.4,
+		}},
+		"congestion": map[string]any{"snapshots": 2.0, "inflated_cells": 374.0},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := writeFile(t, dir, "report.json", string(b))
+	out := filepath.Join(dir, "cong.json")
+	if err := congestionSummary(in, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := loadRaw(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := raw["schema"].(string); s != congestionBenchSchema {
+		t.Fatalf("schema = %q, want %q", s, congestionBenchSchema)
+	}
+	if ov, _ := raw["routed_overflow"].(float64); ov != 249.4 {
+		t.Fatalf("routed_overflow = %v, want 249.4", ov)
+	}
+	if h, _ := raw["hpwl_final"].(float64); h != 48876.58 {
+		t.Fatalf("hpwl_final = %v, want 48876.58", h)
+	}
+	if _, hasCong := raw["congestion"].(map[string]any); !hasCong {
+		t.Fatal("congestion block did not pass through")
+	}
+
+	noRouted := writeFile(t, dir, "nr.json",
+		`{"schema":"dpplace-run-report/v1","hpwl":{"final":1}}`)
+	if err := congestionSummary(noRouted, out); err == nil ||
+		!strings.Contains(err.Error(), "metrics.Routed") {
+		t.Fatalf("err = %v, want missing-metrics error", err)
+	}
+	noHPWL := writeFile(t, dir, "nh.json",
+		`{"schema":"dpplace-run-report/v1","metrics":{"Routed":{"Overflow":1.0}}}`)
+	if err := congestionSummary(noHPWL, out); err == nil ||
+		!strings.Contains(err.Error(), "HPWL") {
+		t.Fatalf("err = %v, want missing-HPWL error", err)
+	}
+}

@@ -41,12 +41,16 @@ import (
 func main() {
 	bin := flag.String("bin", "", "path to the dpplaced binary (required)")
 	timeout := flag.Duration("timeout", 300*time.Second, "overall smoke budget")
+	dataDir := flag.String("data", "", "daemon data directory, wiped at start and "+
+		"kept after the run (default: a private temp dir, removed afterwards); "+
+		"CI passes a known path here so the journal and artifacts survive a "+
+		"failure for upload")
 	flag.Parse()
 	if *bin == "" {
 		fmt.Fprintln(os.Stderr, "usage: servesmoke -bin path/to/dpplaced")
 		os.Exit(2)
 	}
-	if err := smoke(*bin, *timeout); err != nil {
+	if err := smoke(*bin, *timeout, *dataDir); err != nil {
 		fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
 		os.Exit(1)
 	}
@@ -178,13 +182,27 @@ var coreSeries = []string{
 	`dpplace_health_events_total{kind="rollbacks"}`,
 }
 
-// smoke runs the whole scenario; any error fails the smoke.
-func smoke(bin string, budget time.Duration) error {
-	data, err := os.MkdirTemp("", "servesmoke")
-	if err != nil {
-		return err
+// smoke runs the whole scenario; any error fails the smoke. A non-empty
+// dataDir is wiped first — a journal left over from an earlier run would be
+// replayed by the phase-1 boot and skew the metrics assertions — and left
+// behind afterwards for post-mortem inspection.
+func smoke(bin string, budget time.Duration, dataDir string) error {
+	data := dataDir
+	if data == "" {
+		var err error
+		data, err = os.MkdirTemp("", "servesmoke")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(data)
+	} else {
+		if err := os.RemoveAll(data); err != nil {
+			return err
+		}
+		if err := os.MkdirAll(data, 0o755); err != nil {
+			return err
+		}
 	}
-	defer os.RemoveAll(data)
 
 	// The overall budget is enforced with a deadline timer rather than
 	// wall-clock reads.

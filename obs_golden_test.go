@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	dpplace "repro"
+	"repro/internal/place/congestion"
 	"repro/internal/place/global"
 )
 
@@ -151,6 +152,50 @@ func TestWorkersBitIdentical(t *testing.T) {
 		}
 		if r := par.GlobalResult.DirtyNetRatio(); r <= 0 || r >= 1 {
 			t.Errorf("workers=%d run has degenerate dirty-net ratio %v", workers, r)
+		}
+	}
+}
+
+// TestWorkersBitIdenticalCongestion extends the golden determinism gate to
+// the congestion feedback loop: with the loop engaged (gate forced open and
+// the RUDY capacity dropped so the small golden design is unambiguously
+// congested), the full flow must still produce bit-identical placements and
+// identical controller stats at every worker count.
+func TestWorkersBitIdenticalCongestion(t *testing.T) {
+	place := func(workers int) *dpplace.Result {
+		t.Helper()
+		bench := goldenBench()
+		res, err := dpplace.PlaceCtx(context.Background(),
+			bench.Netlist, bench.Core, bench.Placement,
+			dpplace.Options{
+				Mode: dpplace.StructureAware,
+				Global: global.Options{
+					Workers: workers,
+					Congestion: congestion.Options{
+						Enable:          true,
+						SnapshotOnEntry: true,
+						MaxDensOverflow: 100,
+						Capacity:        0.02,
+					},
+				},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := place(1)
+	st := serial.GlobalResult.Congestion
+	if st == nil || st.Snapshots == 0 {
+		t.Fatalf("congestion loop never engaged: %+v", st)
+	}
+	for _, workers := range []int{2, 4} {
+		par := place(workers)
+		samePlacement(t, "congestion workers", serial.Placement, par.Placement)
+		pst := par.GlobalResult.Congestion
+		if pst.Snapshots != st.Snapshots || pst.Applied != st.Applied ||
+			pst.InflatedCells != st.InflatedCells || pst.MaxInflation != st.MaxInflation {
+			t.Errorf("workers=%d: congestion stats %+v != serial %+v", workers, pst, st)
 		}
 	}
 }
