@@ -10,7 +10,7 @@ BENCH_DIR ?= /tmp/dpplace-bench
 
 .PHONY: all check fmt fmt-check vet build test race fuzz-smoke cover bench \
 	bench-workers bench-kernels bench-congestion bench-smoke bench-diff \
-	docs-lint lint lint-selftest metrics-lint serve-smoke
+	docs-lint lint lint-github lint-selftest metrics-lint serve-smoke
 
 all: check
 
@@ -23,11 +23,20 @@ docs-lint:
 	$(GO) run ./internal/tools/docslint
 
 # Determinism and concurrency bar: internal/tools/placelint rejects map-order
-# dependence, par-closure discipline violations, wall-clock reads outside
-# internal/obs, exact float comparison and severed error chains. The tree
-# must be clean; safe exceptions carry //placelint:ignore <check> <reason>.
+# dependence, par-closure discipline violations, wall-clock/rand reach
+# (transitive, via the interprocedural facts engine), exact float comparison,
+# severed error chains, allocations on //placelint:hotpath functions,
+# impure callees inside par worker closures, and stale suppressions. The
+# tree must be clean; safe exceptions carry //placelint:ignore <check>
+# <reason>, which also clears the underlying fact for every caller.
 lint:
 	$(GO) run ./internal/tools/placelint
+
+# Same gate, but emitting GitHub Actions ::error workflow commands so each
+# finding annotates its line inline on the pull request. Used by the CI lint
+# job; locally `make lint` is friendlier.
+lint-github:
+	$(GO) run ./internal/tools/placelint -github
 
 # Metrics schema bar: the placelint metricnames check alone, run over the
 # packages that register metrics. Fails on duplicate metric registration,

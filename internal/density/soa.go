@@ -75,6 +75,8 @@ func (t *axisTables) setConsts(mi int, w, wb float64) int {
 // yield a zero sum and an empty clamped range — the cell contributes
 // nothing, exactly like the pre-SoA code whose loop over a garbage range
 // was empty.
+//
+//placelint:hotpath
 func (t *axisTables) fill(mi int, x0, lo, wb float64, nBins int) float64 {
 	r2 := t.r2[mi]
 	f0 := math.Floor((x0 - r2 - lo) / wb)
@@ -120,6 +122,8 @@ func (t *axisTables) fill(mi int, x0, lo, wb float64, nBins int) float64 {
 // kernel used to compute alongside fill. The gradient pass calls it once
 // per cell, so probes that never ask for a gradient skip this work
 // entirely.
+//
+//placelint:hotpath
 func (t *axisTables) fillDeriv(mi int, lo, wb float64) {
 	x0 := t.ctr[mi]
 	i0 := t.i0[mi]
@@ -223,6 +227,8 @@ func (p *Potential) Value(cx, cy []float64) float64 {
 
 // splatRow adds one cell's contribution to the bins of grid row j; the
 // parallel splat's unit of work.
+//
+//placelint:hotpath
 func (p *Potential) splatRow(mi, j int) {
 	nrm := p.norm[mi]
 	if nrm == 0 {
@@ -250,6 +256,8 @@ func (p *Potential) splatRow(mi, j int) {
 // the same row order, with the cell-level table lookups hoisted out of the
 // row loop (the serial path visits every row of a cell back to back, so the
 // shared loads pay off; the parallel path cannot, it owns rows not cells).
+//
+//placelint:hotpath
 func (p *Potential) splatCell(mi int) {
 	nrm := p.norm[mi]
 	if nrm == 0 {

@@ -12,7 +12,6 @@ package faultinject
 
 import (
 	"io"
-	//placelint:ignore walltime explicitly seeded PRNG; fault schedules are deterministic by construction and never read wall time
 	"math/rand"
 	"sync"
 	"sync/atomic"

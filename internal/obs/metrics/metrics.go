@@ -183,7 +183,10 @@ type Counter struct {
 }
 
 // Add increments the counter by delta (negative deltas are ignored —
-// counters never go down).
+// counters never go down). Instrumented solver loops call it per
+// iteration, so it is part of the §14 zero-allocation contract.
+//
+//placelint:hotpath
 func (c *Counter) Add(delta int64) {
 	if c == nil || delta <= 0 {
 		return
@@ -192,6 +195,8 @@ func (c *Counter) Add(delta int64) {
 }
 
 // Inc increments the counter by one.
+//
+//placelint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for a nil counter).
@@ -208,6 +213,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//placelint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -216,6 +223,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta (either sign).
+//
+//placelint:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -248,7 +257,10 @@ func newHistogram(buckets []float64) *Histogram {
 }
 
 // Observe records one value. NaN observations are dropped (they would
-// poison the sum the way they poison a JSON trace).
+// poison the sum the way they poison a JSON trace). Observe sits on the
+// scheduler and solver-bridge hot paths, hence the zero-alloc contract.
+//
+//placelint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
@@ -373,6 +385,8 @@ type atomicFloat struct {
 }
 
 // add atomically adds v.
+//
+//placelint:hotpath
 func (f *atomicFloat) add(v float64) {
 	for {
 		old := f.bits.Load()

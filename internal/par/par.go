@@ -99,38 +99,60 @@ func (p *Pool) RunWorker(ctx context.Context, n, grain int, fn func(worker, lo, 
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	var cursor atomic.Int64
-	var stopped atomic.Bool
+	d := &dispatch{ctx: ctx, n: n, grain: grain, fn: fn}
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				if stopped.Load() {
-					return
-				}
-				lo := int(cursor.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				if err := ctxErr(ctx); err != nil {
-					stopped.Store(true)
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(worker, lo, hi)
-			}
+			d.runChunks(worker)
 		}(g)
 	}
 	wg.Wait()
-	if stopped.Load() {
+	if d.stopped.Load() {
 		return ctx.Err()
 	}
 	return nil
+}
+
+// dispatch is the shared state of one RunWorker invocation: the chunk
+// cursor the workers race on, the cooperative stop flag, and the kernel
+// closure they all execute.
+type dispatch struct {
+	ctx      context.Context
+	n, grain int
+	fn       func(worker, lo, hi int)
+	cursor   atomic.Int64
+	stopped  atomic.Bool
+}
+
+// runChunks is the per-worker dispatch loop: claim a chunk from the shared
+// cursor, check cancellation, run the kernel over it, repeat. It sits
+// between every pair of kernel chunks on every parallel hot path, so the
+// DESIGN.md §14 zero-allocation contract applies to the loop itself —
+// only atomics, the context poll, and the kernel call.
+//
+//placelint:hotpath
+func (d *dispatch) runChunks(worker int) {
+	for {
+		if d.stopped.Load() {
+			return
+		}
+		lo := int(d.cursor.Add(int64(d.grain))) - d.grain
+		if lo >= d.n {
+			return
+		}
+		if err := ctxErr(d.ctx); err != nil {
+			d.stopped.Store(true)
+			return
+		}
+		hi := lo + d.grain
+		if hi > d.n {
+			hi = d.n
+		}
+		//placelint:ignore hotalloc the kernel closure is the caller's to keep allocation-free; the §14 kernels it wraps carry their own hotpath contracts
+		d.fn(worker, lo, hi)
+	}
 }
 
 // ForShards splits [0, n) into exactly `shards` contiguous ranges (the last

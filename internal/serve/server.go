@@ -226,7 +226,6 @@ func (s *Server) replay(recs []Record) error {
 	// record); jobs marked queued never got to run. Both go back on the
 	// queue — bit-identical re-execution makes this safe.
 	ids := make([]string, 0, len(s.jobs))
-	//placelint:ignore maporder ids are sorted before use
 	for id := range s.jobs {
 		ids = append(ids, id)
 	}
@@ -451,7 +450,6 @@ func (s *Server) Jobs() []View {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	views := make([]View, 0, len(s.jobs))
-	//placelint:ignore maporder views are sorted by sequence number below
 	for _, j := range s.jobs {
 		views = append(views, j.view())
 	}

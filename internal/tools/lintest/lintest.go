@@ -20,6 +20,7 @@
 package lintest
 
 import (
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -48,25 +49,26 @@ type Want struct {
 // embedded double quotes.
 var wantRE = regexp.MustCompile(`//\s*want(?:\[([+-]?\d+)\])?\s+"(.*)"`)
 
-// ParseWants scans every non-test .go file directly under dir for want
-// comments and returns them in file order. Malformed patterns fail the test
+// ParseWants scans every non-test .go file under dir — recursively, so a
+// testdata package may carry helper sub-packages (cross-package facts need
+// a real dependency to traverse) whose files hold wants of their own — and
+// returns the wants in file-walk order. Malformed patterns fail the test
 // immediately: a want that cannot match anything would silently weaken the
 // two-way check.
 func ParseWants(t *testing.T, dir string) []Want {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("lintest: %v", err)
-	}
 	var wants []Want
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			t.Fatalf("lintest: %v", err)
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			m := wantRE.FindStringSubmatch(line)
@@ -86,6 +88,10 @@ func ParseWants(t *testing.T, dir string) []Want {
 			}
 			wants = append(wants, Want{File: name, Line: i + 1 + offset, Pattern: re})
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lintest: %v", err)
 	}
 	return wants
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// checkHotAlloc enforces the zero-allocation contract of DESIGN.md §14 on
+// every function annotated
+//
+//	//placelint:hotpath
+//
+// in its doc comment: neither the function nor anything it transitively
+// calls may allocate. The §14 kernels (wirelength CSR value/grad, density
+// splat and axis tables, the par dispatch loop, the metrics atomics) run
+// millions of times per placement iteration; a single allocation there
+// turns into GC pressure that the runtime alloc tests only catch on the
+// handful of benchmarked shapes. The facts engine proves the property for
+// every caller path instead.
+//
+// "May allocate" is deliberately conservative: make/new/append, map and
+// slice literals, escaping composite literals, closure captures, interface
+// boxing, string concatenation and conversions, fmt, defer inside a loop,
+// go statements, variadic argument slices, and any call that cannot be
+// proven allocation-free (dynamic dispatch, unknown external packages).
+// A site that is provably safe anyway (e.g. an append into a
+// pre-sized-by-contract buffer) carries //placelint:ignore hotalloc
+// <reason>, which clears the fact for every hotpath reaching it.
+func checkHotAlloc(p *pass) {
+	p.eachFunc(func(fd *ast.FuncDecl, ff *funcFacts) {
+		if !ff.hotpath {
+			return
+		}
+		// Every local site is a separate, precisely-positioned finding;
+		// the transitive trace is reported only when the body itself is
+		// clean (the chain explains which call drags the allocation in).
+		for _, st := range ff.allocs {
+			p.reportf(st.pos, "hotalloc",
+				"allocation in hotpath %s: %s", fd.Name.Name, st.reason)
+		}
+		if len(ff.allocs) == 0 && ff.alloc != nil {
+			p.reportf(ff.alloc.site, "hotalloc",
+				"hotpath %s transitively allocates: %s", fd.Name.Name, ff.alloc.describe())
+		}
+	})
+}

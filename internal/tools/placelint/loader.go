@@ -1,0 +1,227 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// lintPkg is one loaded, type-checked package: the unit the checks run over
+// and the facts engine scans. Unlike the pre-facts placelint, the loader
+// keeps the ASTs and the types.Info of every package it touches — including
+// packages loaded only as dependencies — because interprocedural facts need
+// the bodies of callees in other packages, not just their signatures.
+type lintPkg struct {
+	path  string // import path, e.g. "repro/internal/par"
+	dir   string // directory as given to loadDir (kept for display)
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	// ignores maps filename -> line -> directive, parsed once at load time
+	// so both the checks and the facts engine consult the same table.
+	// Lookups only; never iterated for reporting (ignoreList is).
+	ignores map[string]map[int]*ignoreDirective
+	// ignoreList holds every well-formed directive in file/line order, for
+	// the unusedignore check.
+	ignoreList []*ignoreDirective
+	// ignoreFindings are the malformed directives (pseudo-check "ignore"),
+	// reported by every pass over this package.
+	ignoreFindings []finding
+}
+
+// loader loads module packages by import path, type-checking each exactly
+// once and caching the result — the per-package fact summaries the engine
+// computes stay valid because the underlying packages never reload within a
+// process. Imports outside the module fall through to the stdlib source
+// importer.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string // absolute directory holding go.mod
+	modulePath string // module path from go.mod, e.g. "repro"
+	stdlib     types.Importer
+	pkgs       map[string]*lintPkg // by import path
+	byDir      map[string]*lintPkg // by absolute directory
+	loading    map[string]bool     // import-cycle guard (should never trip)
+}
+
+// moduleLine extracts the module path from a go.mod.
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// newLoader locates the enclosing module (walking up from the working
+// directory to the nearest go.mod) and returns a loader rooted there.
+func newLoader(fset *token.FileSet) (*loader, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			m := moduleLine.FindSubmatch(data)
+			if m == nil {
+				return nil, fmt.Errorf("%s/go.mod: no module line", dir)
+			}
+			return &loader{
+				fset:       fset,
+				moduleDir:  dir,
+				modulePath: string(m[1]),
+				stdlib:     importer.ForCompiler(fset, "source", nil),
+				pkgs:       map[string]*lintPkg{},
+				byDir:      map[string]*lintPkg{},
+				loading:    map[string]bool{},
+			}, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load (and cache)
+// through the loader itself, so cross-package identifier uses resolve to the
+// same types.Object the callee package's own check sees — the property the
+// facts engine's call graph depends on. Everything else is stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		lp, err := l.loadDir(filepath.Join(l.moduleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// loadDir parses and type-checks the non-test Go files of one directory as a
+// single package under its real import path, loading module dependencies
+// recursively. Results are cached by directory and import path.
+func (l *loader) loadDir(dir string) (*lintPkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if lp := l.byDir[abs]; lp != nil {
+		return lp, nil
+	}
+	path, err := l.importPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	// Prefer a working-directory-relative parse path so findings print the
+	// short names developers (and the testdata harness) expect.
+	parseDir := dir
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, abs); err == nil {
+			parseDir = rel
+		}
+	}
+	files, err := parseDirFiles(l.fset, parseDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check: %w", err)
+	}
+	lp := &lintPkg{path: path, dir: dir, files: files, pkg: pkg, info: info}
+	lp.parseIgnores(l.fset)
+	l.pkgs[path] = lp
+	l.byDir[abs] = lp
+	return lp, nil
+}
+
+// importPath maps an absolute directory inside the module to its import
+// path (the module path itself for the module root).
+func (l *loader) importPath(abs string) (string, error) {
+	rel, err := filepath.Rel(l.moduleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", abs, l.modulePath)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseIgnores scans every comment of the package for suppression
+// directives, recording well-formed ones for lookup (and for the
+// unusedignore audit) and malformed ones as findings of the pseudo-check
+// "ignore" — a bare or typo'd ignore must never silently suppress.
+func (lp *lintPkg) parseIgnores(fset *token.FileSet) {
+	lp.ignores = map[string]map[int]*ignoreDirective{}
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				switch {
+				case len(fields) == 0:
+					lp.ignoreFindings = append(lp.ignoreFindings, finding{pos, "ignore",
+						"directive names no check: want //placelint:ignore <check> <reason>"})
+				case !knownCheck(fields[0]):
+					lp.ignoreFindings = append(lp.ignoreFindings, finding{pos, "ignore",
+						fmt.Sprintf("directive names unknown check %q", fields[0])})
+				case len(fields) == 1:
+					lp.ignoreFindings = append(lp.ignoreFindings, finding{pos, "ignore",
+						fmt.Sprintf("bare ignore for %q: a reason is mandatory", fields[0])})
+				default:
+					d := &ignoreDirective{
+						check:  fields[0],
+						reason: strings.Join(fields[1:], " "),
+						pos:    pos,
+					}
+					byLine := lp.ignores[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]*ignoreDirective{}
+						lp.ignores[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = d
+					lp.ignoreList = append(lp.ignoreList, d)
+				}
+			}
+		}
+	}
+}
+
+// ignoreAt returns the directive covering (filename, line) for check — the
+// same line or the line directly above — or nil.
+func (lp *lintPkg) ignoreAt(filename string, line int, check string) *ignoreDirective {
+	byLine := lp.ignores[filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, ln := range []int{line, line - 1} {
+		if d := byLine[ln]; d != nil && d.check == check {
+			return d
+		}
+	}
+	return nil
+}

@@ -4,15 +4,22 @@
 // Golden tests catch a violation only after it has corrupted a placement;
 // placelint rejects the hazard pattern at review time, before it runs.
 //
-// It is stdlib-only (go/ast + go/parser + go/types with the source
-// importer), following the docslint precedent — no external linter
-// dependency. Six checks ship today, one file each:
+// It is stdlib-only (go/ast + go/parser + go/types with a module-aware
+// demand-driven loader), following the docslint precedent — no external
+// linter dependency. Since PR 10 the checks sit on an interprocedural facts
+// engine: every function in the module gets per-function fact summaries
+// (readsClock, readsRand, mayAllocate, writesNonLocal) propagated bottom-up
+// over the strongly-connected components of the cross-package call graph,
+// so the determinism contracts hold transitively, not just at the surface
+// syntax. Nine checks ship today, one file each:
 //
 //	maporder       for-range over a map outside the collect-then-sort idiom
 //	pardiscipline  writes escaping the worker-owned slot inside closures
 //	               passed to internal/par (the compute-then-reduce rule)
-//	walltime       time.Now / time.Since / time.Until / math/rand outside
-//	               internal/obs, internal/gen and _test.go files
+//	walltime       time.Now / time.Since / time.Until / math/rand reachable
+//	               — directly or through any call chain — outside the owner
+//	               packages (internal/obs for the clock; internal/gen and
+//	               internal/faultinject for seeded randomness)
 //	floateq        == / != on floating-point operands outside approved
 //	               epsilon helpers
 //	errwrap        error arguments formatted with a verb other than %w,
@@ -20,6 +27,12 @@
 //	metricnames    metric registrations on internal/obs/metrics.Registry
 //	               whose name or label is dynamic, not snake_case, or a
 //	               duplicate within the package
+//	hotalloc       allocations reachable from a //placelint:hotpath
+//	               function (the DESIGN.md §14 zero-alloc kernel contract)
+//	parpurity      functions called from par worker closures that
+//	               transitively write non-worker-owned state or consult
+//	               the clock / math/rand
+//	unusedignore   suppression directives that no longer suppress anything
 //
 // A true finding that is nevertheless safe is suppressed in place with
 //
@@ -27,24 +40,29 @@
 //
 // on the flagged line or the line directly above it. The reason is
 // mandatory: a bare ignore is itself a violation, so every suppression
-// documents why the invariant holds anyway.
+// documents why the invariant holds anyway. For the fact-backed checks the
+// directive also clears the fact at its source, so every caller of the
+// suppressed code is clean too — and the unusedignore audit reports any
+// directive that stops earning its keep.
 //
 // Usage:
 //
-//	go run ./internal/tools/placelint [-only check[,check...]] [dir ...]
+//	go run ./internal/tools/placelint [-only check[,check...]] [-json] [-github] [dir ...]
 //
 // With no arguments it lints the whole module ("."). -only restricts the
 // run to the named checks (e.g. `-only metricnames` for the metrics-schema
-// gate). Test files and testdata directories are exempt. Exit status:
-// 0 clean, 1 violations, 2 operational failure (parse or type-check error).
+// gate). -json emits placelint-diagnostics/v1 JSON on stdout for tooling;
+// -github emits GitHub Actions ::error workflow commands on stdout so
+// findings annotate the offending lines of a pull request. Test files and
+// testdata directories are exempt. Exit status: 0 clean, 1 violations,
+// 2 operational failure (parse or type-check error).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/importer"
 	"go/token"
-	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -53,47 +71,85 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	onlyFlag := flag.String("only", "", "comma-separated subset of checks to run")
+	jsonFlag := flag.Bool("json", false, "emit placelint-diagnostics/v1 JSON on stdout")
+	githubFlag := flag.Bool("github", false, "emit GitHub Actions ::error annotations on stdout")
+	flag.Parse()
+
 	var only []string
-	if len(args) >= 2 && args[0] == "-only" {
-		only = strings.Split(args[1], ",")
+	if *onlyFlag != "" {
+		only = strings.Split(*onlyFlag, ",")
 		for _, c := range only {
 			if !knownCheck(c) {
 				fatalf("-only names unknown check %q", c)
 			}
 		}
-		args = args[2:]
 	}
-	roots := args
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var all []finding
+	var dirs []string
+	seen := map[string]bool{}
 	for _, root := range roots {
-		dirs, err := collectDirs(root)
+		ds, err := collectDirs(root)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		for _, dir := range dirs {
-			fs, err := lintDir(fset, imp, dir, only)
-			if err != nil {
-				fatalf("%s: %v", dir, err)
+		for _, d := range ds {
+			if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, d)
 			}
-			all = append(all, fs...)
 		}
+	}
+	fset := token.NewFileSet()
+	all, err := lintPackages(fset, dirs, only)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sortFindings(all)
+	switch {
+	case *jsonFlag:
+		writeJSON(os.Stdout, all)
+	case *githubFlag:
+		writeGitHub(os.Stdout, all)
 	}
 	if len(all) == 0 {
 		return
 	}
-	sortFindings(all)
 	for _, f := range all {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n",
 			f.pos.Filename, f.pos.Line, f.pos.Column, f.check, f.msg)
 	}
 	fmt.Fprintf(os.Stderr, "placelint: %d violation(s)\n", len(all))
 	os.Exit(1)
+}
+
+// lintPackages loads every target directory through the module loader,
+// builds the shared fact database over everything loaded (targets plus
+// their dependencies), and runs the checks over each target package.
+func lintPackages(fset *token.FileSet, dirs []string, only []string) ([]finding, error) {
+	l, err := newLoader(fset)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]*lintPkg, 0, len(dirs))
+	for _, dir := range dirs {
+		lp, err := l.loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		targets = append(targets, lp)
+	}
+	db := newFactDB(l)
+	var all []finding
+	for _, lp := range targets {
+		p := newPass(fset, lp, db, only)
+		p.run()
+		all = append(all, p.findings...)
+	}
+	return all, nil
 }
 
 // fatalf reports an operational failure (not a lint violation) and exits 2,
@@ -155,35 +211,54 @@ func sortFindings(fs []finding) {
 	})
 }
 
-// lintDir parses and type-checks the non-test Go files of one directory as
-// a single package and runs the checks over it. only restricts the run to
-// the named checks (nil means all); the ignore-directive validator always
-// runs. Used by main for the tree walk and by the test harness for the
-// seeded testdata packages.
-func lintDir(fset *token.FileSet, imp types.Importer, dir string, only []string) ([]finding, error) {
-	files, err := parseDirFiles(fset, dir)
-	if err != nil {
-		return nil, err
+// jsonDiagnostic is one finding in the placelint-diagnostics/v1 format.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the envelope of -json output: versioned so downstream
+// tooling can detect format drift, mirroring dpplace-run-report/v1.
+type jsonReport struct {
+	Format   string           `json:"format"`
+	Findings []jsonDiagnostic `json:"findings"`
+	Count    int              `json:"count"`
+}
+
+// writeJSON emits the findings as one placelint-diagnostics/v1 document.
+func writeJSON(w *os.File, fs []finding) {
+	rep := jsonReport{Format: "placelint-diagnostics/v1", Findings: []jsonDiagnostic{}, Count: len(fs)}
+	for _, f := range fs {
+		rep.Findings = append(rep.Findings, jsonDiagnostic{
+			File: filepath.ToSlash(f.pos.Filename), Line: f.pos.Line,
+			Column: f.pos.Column, Check: f.check, Message: f.msg,
+		})
 	}
-	if len(files) == 0 {
-		return nil, nil
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatalf("encode: %v", err)
 	}
-	conf := types.Config{Importer: imp}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
+}
+
+// writeGitHub emits one ::error workflow command per finding, which GitHub
+// Actions renders as an inline annotation on the offending line of the PR.
+func writeGitHub(w *os.File, fs []finding) {
+	for _, f := range fs {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=placelint/%s::%s\n",
+			filepath.ToSlash(f.pos.Filename), f.pos.Line, f.pos.Column,
+			f.check, githubEscape(f.msg))
 	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
-	}
-	pkg, err := conf.Check(abs, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-check: %w", err)
-	}
-	p := newPass(fset, files, pkg, info)
-	p.run(only)
-	return p.findings, nil
+}
+
+// githubEscape encodes the characters the workflow-command grammar
+// reserves in message data.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

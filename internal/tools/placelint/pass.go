@@ -13,8 +13,10 @@ import (
 )
 
 // checks registers every analysis in the order they run. One check, one
-// file, one invariant — adding a seventh check is a new entry here plus a
+// file, one invariant — adding a tenth check is a new entry here plus a
 // new file with a checkXxx(*pass) function and a testdata package.
+// unusedignore must stay last: it audits which suppressions the earlier
+// checks (and the facts engine) actually consumed.
 var checks = []struct {
 	name string
 	run  func(*pass)
@@ -25,6 +27,9 @@ var checks = []struct {
 	{"floateq", checkFloatEq},
 	{"errwrap", checkErrWrap},
 	{"metricnames", checkMetricNames},
+	{"hotalloc", checkHotAlloc},
+	{"parpurity", checkParPurity},
+	{"unusedignore", checkUnusedIgnore},
 }
 
 // knownCheck reports whether name is a registered check, for validating
@@ -48,74 +53,50 @@ type finding struct {
 // ignoreDirective is one parsed //placelint:ignore comment. A directive
 // suppresses findings of its check on its own line and on the line directly
 // below it (i.e. it may trail the flagged code or lead it as a comment).
+// For the fact-backed checks (walltime, hotalloc, parpurity) a directive
+// does more than silence a message: it clears the underlying fact at its
+// source, so callers of the suppressed code stay clean too.
 type ignoreDirective struct {
 	check  string
 	reason string
+	pos    token.Position
 }
 
-// pass carries one type-checked package through every check and collects
-// findings, consulting the ignore directives before recording each one.
+// pass carries one type-checked package through every check. The package
+// (with its parsed ignore table) comes from the loader; the fact database
+// is shared across every pass of the run, so cross-package summaries are
+// computed once.
 type pass struct {
 	fset     *token.FileSet
+	lp       *lintPkg
+	db       *factDB
 	files    []*ast.File
 	pkg      *types.Package
 	info     *types.Info
+	only     []string // nil = all checks; the unusedignore audit respects it
 	findings []finding
-	// ignores maps filename -> line -> directive. Lookups only; never
-	// iterated, so no ordering concerns.
-	ignores map[string]map[int]*ignoreDirective
 }
 
 // ignorePrefix introduces a suppression comment:
 // //placelint:ignore <check> <reason>.
 const ignorePrefix = "//placelint:ignore"
 
-// newPass builds the pass and parses every suppression directive up front,
-// reporting malformed ones (unknown check, missing reason) as violations of
-// the pseudo-check "ignore" — a bare ignore must never silently suppress.
-func newPass(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *pass {
-	p := &pass{fset: fset, files: files, pkg: pkg, info: info,
-		ignores: map[string]map[int]*ignoreDirective{}}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
-				switch {
-				case len(fields) == 0:
-					p.findings = append(p.findings, finding{pos, "ignore",
-						"directive names no check: want //placelint:ignore <check> <reason>"})
-				case !knownCheck(fields[0]):
-					p.findings = append(p.findings, finding{pos, "ignore",
-						fmt.Sprintf("directive names unknown check %q", fields[0])})
-				case len(fields) == 1:
-					p.findings = append(p.findings, finding{pos, "ignore",
-						fmt.Sprintf("bare ignore for %q: a reason is mandatory", fields[0])})
-				default:
-					byLine := p.ignores[pos.Filename]
-					if byLine == nil {
-						byLine = map[int]*ignoreDirective{}
-						p.ignores[pos.Filename] = byLine
-					}
-					byLine[pos.Line] = &ignoreDirective{
-						check:  fields[0],
-						reason: strings.Join(fields[1:], " "),
-					}
-				}
-			}
-		}
-	}
+// newPass builds the pass over one loaded package. Malformed suppression
+// directives (unknown check, missing reason) surface immediately as
+// violations of the pseudo-check "ignore" — a bare ignore must never
+// silently suppress.
+func newPass(fset *token.FileSet, lp *lintPkg, db *factDB, only []string) *pass {
+	p := &pass{fset: fset, lp: lp, db: db,
+		files: lp.files, pkg: lp.pkg, info: lp.info, only: only}
+	p.findings = append(p.findings, lp.ignoreFindings...)
 	return p
 }
 
 // run executes the registered checks, or just the named subset when only is
 // non-nil (the testdata harness isolates one check per package).
-func (p *pass) run(only []string) {
+func (p *pass) run() {
 	for _, c := range checks {
-		if only != nil && !contains(only, c.name) {
+		if p.only != nil && !contains(p.only, c.name) {
 			continue
 		}
 		c.run(p)
@@ -133,15 +114,14 @@ func contains(list []string, s string) bool {
 }
 
 // reportf records a finding of check at pos unless a matching ignore
-// directive covers the line (same line, or the line directly above).
+// directive covers the line (same line, or the line directly above). A
+// directive that suppresses is marked used, which keeps it alive under the
+// unusedignore audit.
 func (p *pass) reportf(pos token.Pos, check, format string, args ...any) {
 	position := p.fset.Position(pos)
-	if byLine := p.ignores[position.Filename]; byLine != nil {
-		for _, line := range []int{position.Line, position.Line - 1} {
-			if d := byLine[line]; d != nil && d.check == check {
-				return
-			}
-		}
+	if d := p.lp.ignoreAt(position.Filename, position.Line, check); d != nil {
+		p.db.usedIgnores[d] = true
+		return
 	}
 	p.findings = append(p.findings, finding{position, check, fmt.Sprintf(format, args...)})
 }
@@ -149,6 +129,26 @@ func (p *pass) reportf(pos token.Pos, check, format string, args ...any) {
 // fileName returns the path of f as recorded in the file set.
 func (p *pass) fileName(f *ast.File) string {
 	return p.fset.Position(f.Pos()).Filename
+}
+
+// eachFunc visits every function declaration of the package together with
+// its fact summary, in file/declaration order.
+func (p *pass) eachFunc(visit func(fd *ast.FuncDecl, ff *funcFacts)) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if ff := p.db.factsFor(obj); ff != nil {
+				visit(fd, ff)
+			}
+		}
+	}
 }
 
 // parseDirFiles parses the non-test Go files of dir, in sorted file-name

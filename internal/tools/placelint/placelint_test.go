@@ -1,7 +1,6 @@
 package main
 
 import (
-	"go/importer"
 	"go/token"
 	"path/filepath"
 	"testing"
@@ -25,16 +24,20 @@ func TestChecksOnTestdata(t *testing.T) {
 		{"floateq", []string{"floateq"}},
 		{"errwrap", []string{"errwrap"}},
 		{"metricnames", []string{"metricnames"}},
+		{"hotalloc", []string{"hotalloc"}},
+		{"parpurity", []string{"parpurity"}},
+		// The audit needs its subject checks in the run set: it only judges
+		// directives whose check had the chance to consume them.
+		{"unusedignore", []string{"floateq", "walltime", "unusedignore"}},
 		{"ignore", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
 			dir := filepath.Join("testdata", tc.dir)
 			fset := token.NewFileSet()
-			imp := importer.ForCompiler(fset, "source", nil)
-			got, err := lintDir(fset, imp, dir, tc.only)
+			got, err := lintPackages(fset, []string{dir}, tc.only)
 			if err != nil {
-				t.Fatalf("lintDir(%s): %v", dir, err)
+				t.Fatalf("lintPackages(%s): %v", dir, err)
 			}
 			finds := make([]lintest.Finding, 0, len(got))
 			for _, f := range got {
@@ -50,8 +53,10 @@ func TestChecksOnTestdata(t *testing.T) {
 }
 
 // TestTreeIsClean asserts the invariant `make lint` enforces in CI: the
-// repository's own source produces zero findings. Any new violation must be
-// fixed or carry a reasoned //placelint:ignore before it can land.
+// repository's own source produces zero findings — including the
+// transitive fact-backed checks and the unused-suppression audit. Any new
+// violation must be fixed or carry a reasoned //placelint:ignore before it
+// can land.
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -62,14 +67,11 @@ func TestTreeIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	for _, dir := range dirs {
-		got, err := lintDir(fset, imp, dir, nil)
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
-		}
-		for _, f := range got {
-			t.Errorf("%s:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.check, f.msg)
-		}
+	got, err := lintPackages(fset, dirs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		t.Errorf("%s:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.check, f.msg)
 	}
 }

@@ -1,0 +1,81 @@
+// Package hotalloc seeds the hotalloc check: a function annotated
+// //placelint:hotpath must be allocation-free together with everything it
+// transitively calls. Local sites are flagged one by one at the exact
+// expression; a clean body that reaches an allocation through calls gets
+// one finding at the call that drags it in, with the chain to the root
+// site — including across package boundaries (hotdep). Unannotated
+// functions may allocate freely.
+package hotalloc
+
+import "repro/internal/tools/placelint/testdata/hotalloc/hotdep"
+
+// kernelLocal allocates in its own body: every site is reported.
+//
+//placelint:hotpath
+func kernelLocal(dst []float64) []float64 {
+	buf := make([]float64, 4) // want "allocation in hotpath kernelLocal: make"
+	copy(buf, dst)
+	return append(dst, buf...) // want "allocation in hotpath kernelLocal: append"
+}
+
+// kernelChain is clean itself but reaches make two call frames down:
+// kernelChain → frameOne → frameTwo.
+//
+//placelint:hotpath
+func kernelChain(dst []float64) float64 {
+	return frameOne(dst) // want "hotpath kernelChain transitively allocates: make at .*via hotalloc.frameOne → hotalloc.frameTwo"
+}
+
+func frameOne(dst []float64) float64 { return frameTwo(dst) }
+
+func frameTwo(dst []float64) float64 {
+	tmp := make([]float64, len(dst))
+	copy(tmp, dst)
+	s := 0.0
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+// kernelCross reaches an allocation in another package: the facts engine
+// follows the call into hotdep and reports the chain.
+//
+//placelint:hotpath
+func kernelCross(dst []float64) float64 {
+	return hotdep.Sum(dst) // want "hotpath kernelCross transitively allocates: .*via hotdep.Sum → hotdep.scratch"
+}
+
+// kernelClean writes only through its parameters: no findings, and callers
+// annotated hotpath stay clean through it.
+//
+//placelint:hotpath
+func kernelClean(dst, src []float64, k float64) {
+	for i := range dst {
+		dst[i] = src[i] * k
+	}
+}
+
+//placelint:hotpath
+func kernelViaClean(dst, src []float64) {
+	kernelClean(dst, src, 2)
+}
+
+// kernelSuppressed calls a helper whose allocation carries a reasoned
+// ignore: the directive clears the fact at its source, so the hotpath
+// caller is clean without a suppression of its own.
+//
+//placelint:hotpath
+func kernelSuppressed(dst []float64) []float64 {
+	return grow(dst)
+}
+
+func grow(dst []float64) []float64 {
+	//placelint:ignore hotalloc the caller pre-reserves capacity by contract; this append never grows the backing array
+	return append(dst, 0)
+}
+
+// free is unannotated: it may allocate without findings.
+func free(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,21 @@
+// Package hotdep is the cross-package dependency of the hotalloc testdata:
+// Sum hides an allocation one more frame down, so a hotpath caller in the
+// parent package proves the facts engine follows calls across package
+// boundaries.
+package hotdep
+
+// Sum reduces xs through a scratch copy.
+func Sum(xs []float64) float64 {
+	tmp := scratch(xs)
+	s := 0.0
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+func scratch(xs []float64) []float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	return tmp
+}

@@ -1,0 +1,66 @@
+// Package parpurity seeds the parpurity check: every function invoked by
+// static call from a closure handed to the internal/par pool must be
+// transitively free of writes to package-level state and of clock/rand
+// reads — the interprocedural form of the compute-then-reduce discipline.
+// Writes through the callee's own parameters stay legal (that is how
+// workers fill their owned slots), so scale is exempt.
+package parpurity
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/par"
+)
+
+var total float64
+
+// impureWrite hides a shared accumulator behind a call frame.
+func impureWrite(dst []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		total += dst[i]
+	}
+}
+
+// timestamp reaches the wall clock two frames below the worker closure.
+func timestamp(dst []float64, lo, hi int) {
+	mark(dst, lo, hi)
+}
+
+func mark(dst []float64, lo, hi int) {
+	t0 := time.Now()
+	for i := lo; i < hi; i++ {
+		dst[i] += float64(t0.Nanosecond())
+	}
+}
+
+// jitter consumes unseeded randomness.
+func jitter(dst []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] += rand.Float64()
+	}
+}
+
+// scale writes only through its parameters: pure for parpurity's purposes.
+func scale(dst []float64, lo, hi int, k float64) {
+	for i := lo; i < hi; i++ {
+		dst[i] *= k
+	}
+}
+
+// Reduce drives the pool; only the impure callees inside the closure are
+// flagged, at their call sites.
+func Reduce(pool *par.Pool, dst []float64) float64 {
+	_ = pool.Run(context.Background(), len(dst), 0, func(lo, hi int) {
+		impureWrite(dst, lo, hi) // want "parpurity.impureWrite is called from a par worker closure but transitively writes non-worker-owned state: write to package-level variable total"
+		timestamp(dst, lo, hi)   // want "parpurity.timestamp is called from a par worker closure but transitively reads the wall clock: time.Now at .*via parpurity.mark"
+		jitter(dst, lo, hi)      // want "parpurity.jitter is called from a par worker closure but transitively consumes math/rand: math/rand.Float64"
+		scale(dst, lo, hi, 2)    // exempt: writes through its own parameters only
+	})
+	s := 0.0
+	for _, v := range dst {
+		s += v
+	}
+	return s
+}

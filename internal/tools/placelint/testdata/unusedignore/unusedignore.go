@@ -1,0 +1,40 @@
+// Package unusedignore seeds the suppression audit: a well-formed
+// //placelint:ignore that no longer suppresses a diagnostic (and clears no
+// fact) is itself reported, so stale exceptions cannot accumulate and hide
+// later real violations. Live directives — trailing a line the check would
+// flag, or clearing a fact the engine would otherwise propagate — stay
+// silent. The want comments use a +1 offset because a want trailing a
+// directive's own line would parse as its reason.
+package unusedignore
+
+import "time"
+
+// liveExact: floateq would flag the comparison; the directive consumes it.
+func liveExact(a, b float64) bool {
+	return a == b //placelint:ignore floateq golden convergence gate is deliberately bitwise-exact
+}
+
+// staleFloat: the operands became ints in a refactor; the directive now
+// suppresses nothing.
+func staleFloat(a, b int) bool {
+	// want[+1] "suppression for "floateq" no longer suppresses anything"
+	//placelint:ignore floateq left behind after the operands became ints
+	return a == b
+}
+
+// liveClock: the walltime finding on the same line is consumed, and the
+// cleared fact keeps viaLiveClock clean transitively.
+func liveClock() int64 {
+	return time.Now().UnixNano() //placelint:ignore walltime startup stamp only; never feeds a placement decision
+}
+
+func viaLiveClock() int64 {
+	return liveClock() + 1
+}
+
+// staleClock: the clock read it once excused was deleted.
+func staleClock(d time.Duration) time.Duration {
+	// want[+1] "suppression for "walltime" no longer suppresses anything"
+	//placelint:ignore walltime measured duration is reported, not consumed
+	return 2 * d
+}

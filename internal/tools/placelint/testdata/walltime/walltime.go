@@ -1,10 +1,13 @@
 // Package walltime seeds the walltime check: time.Now/Since/Until and a
-// math/rand import are flagged outside the internal/obs and internal/gen
-// allowlist; reading time through a passed-in value is exempt.
+// math/rand import are flagged outside the owner packages (internal/obs for
+// the clock; internal/gen and internal/faultinject for seeded randomness);
+// reading time through a passed-in value is exempt. Since the facts engine,
+// the check is transitive: a function that reaches a clock or rand read
+// through any chain of calls is flagged at the call that drags it in.
 package walltime
 
 import (
-	"math/rand" // want "import of math/rand outside internal/gen"
+	"math/rand" // want "import of math/rand outside the randomness owners"
 	"time"
 )
 
@@ -16,6 +19,17 @@ func timestamp() time.Duration {
 
 func jitter() float64 {
 	return rand.Float64() // only the import is flagged; one finding per root cause
+}
+
+// measure never mentions time, but its callee does: the transitive check
+// reports the call that reaches the clock, with the chain to the root read.
+func measure() time.Duration {
+	return timestamp() // want "measure transitively reads the wall clock: time.Now at .*via walltime.timestamp"
+}
+
+// seeded reaches math/rand one frame down.
+func seeded() float64 {
+	return jitter() // want "seeded transitively consumes math/rand: math/rand.Float64 at .*via walltime.jitter"
 }
 
 func span(t0, t1 time.Time) time.Duration {

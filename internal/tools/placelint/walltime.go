@@ -3,37 +3,41 @@ package main
 import (
 	"go/ast"
 	"go/types"
-	"path/filepath"
 	"strconv"
-	"strings"
 )
 
 // checkWallTime flags wall-clock reads (time.Now, time.Since, time.Until)
-// and any import of math/rand in solver and pipeline code. Wall time and
-// unseeded randomness are the two classic back doors out of reproducibility:
-// a solver that consults either can produce different placements from the
-// same input.
+// and math/rand in solver and pipeline code — directly or through any chain
+// of calls. Wall time and unseeded randomness are the two classic back
+// doors out of reproducibility: a solver that consults either can produce
+// different placements from the same input, and since PR 10 the check is
+// transitive, a helper that hides the read one call frame down no longer
+// slips through.
 //
 // The allowlist is structural, not per-site: internal/obs owns the clock
-// (timing belongs in telemetry, and the Stopwatch type is the sanctioned way
-// for solver code to measure a duration for reports), internal/gen owns
-// seeded randomness (benchmark synthesis is deterministic by construction),
-// and _test.go files are never linted. Everything else must route timing
-// through internal/obs or carry a //placelint:ignore walltime <reason>.
+// (timing belongs in telemetry, and the Stopwatch type is the sanctioned
+// way for solver code to measure a duration for reports), internal/gen and
+// internal/faultinject own seeded randomness (benchmark synthesis and
+// fault schedules are deterministic by construction), and _test.go files
+// are never linted. The facts engine encodes the same boundary: clock and
+// rand facts never escape the owner packages, so calling obs.StartStopwatch
+// stays clean everywhere. Everything else must route timing through
+// internal/obs or carry a //placelint:ignore walltime <reason> — which
+// clears the fact at its source, so callers of the suppressed code stay
+// clean too.
 func checkWallTime(p *pass) {
+	if isClockOwner(p.lp.path) {
+		return
+	}
 	for _, f := range p.files {
-		name := filepath.ToSlash(p.fileName(f))
-		if strings.Contains(name, "internal/obs/") || strings.Contains(name, "internal/gen/") {
-			continue
-		}
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			if path == "math/rand" || path == "math/rand/v2" {
+			if (path == "math/rand" || path == "math/rand/v2") && !isRandOwner(p.lp.path) {
 				p.reportf(imp.Pos(), "walltime",
-					"import of %s outside internal/gen: randomness in solver code breaks run-to-run reproducibility", path)
+					"import of %s outside the randomness owners (internal/gen, internal/faultinject): randomness in solver code breaks run-to-run reproducibility", path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -59,4 +63,17 @@ func checkWallTime(p *pass) {
 			return true
 		})
 	}
+	// Transitive reach: a function that arrives at a clock or rand read
+	// through calls. Local sites (empty chain) were already reported above
+	// at the exact expression, so only chained traces are news.
+	p.eachFunc(func(fd *ast.FuncDecl, ff *funcFacts) {
+		if ff.clock != nil && len(ff.clock.chain) > 0 {
+			p.reportf(ff.clock.site, "walltime",
+				"%s transitively reads the wall clock: %s", fd.Name.Name, ff.clock.describe())
+		}
+		if ff.rand != nil && len(ff.rand.chain) > 0 {
+			p.reportf(ff.rand.site, "walltime",
+				"%s transitively consumes math/rand: %s", fd.Name.Name, ff.rand.describe())
+		}
+	})
 }

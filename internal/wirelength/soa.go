@@ -40,6 +40,8 @@ type AxisState struct {
 // pin coordinates xs, storing e^{(x_i−max)/γ} into ep[i] and e^{(min−x_i)/γ}
 // into en[i] (both must have len(xs) slots). It returns the axis state and
 // the axis wirelength, bit-identical to WA.EvalAxis at the same γ.
+//
+//placelint:hotpath
 func WAValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
 	n := len(xs)
 	if n == 0 {
@@ -103,6 +105,8 @@ func WAValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
 // evaluated by WAValueAxis into grad (len(xs) slots, overwritten — not
 // accumulated). xs, ep, en and st must be exactly the slices/state of that
 // value evaluation; no exponentials are recomputed.
+//
+//placelint:hotpath
 func WAGradAxis(xs, ep, en []float64, st AxisState, gamma float64, grad []float64) {
 	waMax := st.WSumP / st.SumP
 	waMin := st.WSumN / st.SumN
@@ -117,6 +121,8 @@ func WAGradAxis(xs, ep, en []float64, st AxisState, gamma float64, grad []float6
 // per-pin exponentials into ep/en exactly like WAValueAxis. It returns the
 // axis state (WSumP/WSumN stay zero — LSE does not need them) and the axis
 // wirelength, bit-identical to LSE.EvalAxis at the same γ.
+//
+//placelint:hotpath
 func LSEValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
 	n := len(xs)
 	if n == 0 {
@@ -170,6 +176,8 @@ func LSEValueAxis(xs, ep, en []float64, gamma float64) (AxisState, float64) {
 // LSEGradAxis writes the log-sum-exp axis gradient for a net previously
 // evaluated by LSEValueAxis into grad (overwritten, not accumulated), using
 // only the stored exponentials and sums.
+//
+//placelint:hotpath
 func LSEGradAxis(ep, en []float64, st AxisState, grad []float64) {
 	for i := range grad {
 		grad[i] = ep[i]/st.SumP - en[i]/st.SumN
